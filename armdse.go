@@ -1,0 +1,232 @@
+// Package armdse is an AI-assisted design-space analysis toolkit for
+// high-performance Arm processors — a self-contained Go reproduction of
+// Moore, Deakin and McIntosh-Smith, "AI-Assisted Design-Space Analysis of
+// High-Performance Arm Processors" (SC 2024).
+//
+// The package couples a cycle-approximate out-of-order Arm core model (the
+// SimEng stand-in) with an L1/L2/RAM memory backend (the SST stand-in), runs
+// the paper's four HPC mini-apps (STREAM, miniBUDE, TeaLeaf, MiniSweep) as
+// vector-length-agnostic instruction streams over a 30-parameter design
+// space, trains one decision-tree regression surrogate per application to
+// predict execution cycles, and ranks parameters with permutation feature
+// importance.
+//
+// Typical flow:
+//
+//	cfg := armdse.ThunderX2()                     // or armdse.SampleConfigs(seed, n)
+//	st, err := armdse.Simulate(cfg, armdse.NewSTREAM(armdse.TestSTREAMInputs()))
+//
+//	res, err := armdse.Collect(ctx, armdse.CollectOptions{Seed: 1, Samples: 2000})
+//	tree, err := armdse.TrainSurrogate(res.Data, armdse.STREAM)
+//	imps, err := armdse.FeatureImportance(tree, res.Data, armdse.STREAM, 10, 1)
+//
+// Every table and figure of the paper can be regenerated through the
+// Experiments API or the cmd/dsepaper binary.
+package armdse
+
+import (
+	"context"
+
+	"armdse/internal/dataset"
+	"armdse/internal/dtree"
+	"armdse/internal/orchestrate"
+	"armdse/internal/params"
+	"armdse/internal/simeng"
+	"armdse/internal/sstmem"
+	"armdse/internal/workload"
+)
+
+// Core simulation types.
+type (
+	// Config is one design-space point: a core plus its memory backend.
+	Config = params.Config
+	// CoreConfig is the Table II core parameter set.
+	CoreConfig = simeng.Config
+	// MemConfig is the Table III memory parameter set.
+	MemConfig = sstmem.Config
+	// Stats summarises one simulated run; Cycles is the study's target.
+	Stats = simeng.Stats
+	// Workload is one benchmark application.
+	Workload = workload.Workload
+	// Param is one dimension of the design space.
+	Param = params.Param
+)
+
+// Machine-learning types.
+type (
+	// Dataset holds collected feature rows and per-app cycle targets.
+	Dataset = dataset.Dataset
+	// Tree is a trained CART regression surrogate.
+	Tree = dtree.Tree
+	// TreeOptions configure surrogate training (zero value = paper's).
+	TreeOptions = dtree.Options
+	// Importance is one feature's signed permutation importance.
+	Importance = dtree.Importance
+	// Forest is a bagged random-forest surrogate (paper future work).
+	Forest = dtree.Forest
+	// ForestOptions configure random-forest training.
+	ForestOptions = dtree.ForestOptions
+)
+
+// Application names, in the paper's presentation order.
+const (
+	STREAM    = workload.NameSTREAM
+	MiniBUDE  = workload.NameMiniBUDE
+	TeaLeaf   = workload.NameTeaLeaf
+	MiniSweep = workload.NameMiniSweep
+)
+
+// NumFeatures is the surrogate-model input dimensionality (30).
+const NumFeatures = params.NumFeatures
+
+// Workload constructors and inputs.
+type (
+	// STREAMInputs configure the STREAM benchmark.
+	STREAMInputs = workload.STREAMInputs
+	// MiniBUDEInputs configure the miniBUDE kernel.
+	MiniBUDEInputs = workload.MiniBUDEInputs
+	// TeaLeafInputs configure the TeaLeaf solve.
+	TeaLeafInputs = workload.TeaLeafInputs
+	// TeaLeafSolver selects TeaLeaf's iterative method.
+	TeaLeafSolver = workload.TeaLeafSolver
+	// MiniSweepInputs configure the MiniSweep transport sweep.
+	MiniSweepInputs = workload.MiniSweepInputs
+)
+
+// NewSTREAM builds the STREAM workload.
+func NewSTREAM(in STREAMInputs) Workload { return workload.NewSTREAM(in) }
+
+// NewMiniBUDE builds the miniBUDE workload.
+func NewMiniBUDE(in MiniBUDEInputs) Workload { return workload.NewMiniBUDE(in) }
+
+// NewTeaLeaf builds the TeaLeaf workload.
+func NewTeaLeaf(in TeaLeafInputs) Workload { return workload.NewTeaLeaf(in) }
+
+// NewMiniSweep builds the MiniSweep workload.
+func NewMiniSweep(in MiniSweepInputs) Workload { return workload.NewMiniSweep(in) }
+
+// Paper-scale and scaled-down (test) inputs for each application (Table IV).
+var (
+	PaperSTREAMInputs    = workload.PaperSTREAMInputs
+	TestSTREAMInputs     = workload.TestSTREAMInputs
+	PaperMiniBUDEInputs  = workload.PaperMiniBUDEInputs
+	TestMiniBUDEInputs   = workload.TestMiniBUDEInputs
+	PaperTeaLeafInputs   = workload.PaperTeaLeafInputs
+	TestTeaLeafInputs    = workload.TestTeaLeafInputs
+	PaperMiniSweepInputs = workload.PaperMiniSweepInputs
+	TestMiniSweepInputs  = workload.TestMiniSweepInputs
+)
+
+// PaperSuite returns the four workloads at the paper's Table IV inputs.
+func PaperSuite() []Workload { return workload.PaperSuite() }
+
+// TestSuite returns the four workloads scaled for laptop-scale studies.
+func TestSuite() []Workload { return workload.TestSuite() }
+
+// ThunderX2 returns the fixed Marvell ThunderX2 baseline configuration used
+// for the paper's Table I validation.
+func ThunderX2() Config { return params.ThunderX2() }
+
+// Space returns the 30-parameter design space (Tables II and III).
+func Space() []Param { return params.Space() }
+
+// FeatureNames returns the canonical 30 feature column names.
+func FeatureNames() []string { return params.FeatureNames() }
+
+// SampleConfigs draws n design-space configurations under the paper's
+// sampling constraints, deterministically from seed.
+func SampleConfigs(seed int64, n int) []Config { return params.SampleN(seed, n) }
+
+// Simulate runs one workload on one configuration and returns the run
+// statistics.
+func Simulate(cfg Config, w Workload) (Stats, error) {
+	return orchestrate.RunOne(cfg, w)
+}
+
+// CollectOptions configure dataset collection; see orchestrate.Options.
+type CollectOptions = orchestrate.Options
+
+// CollectResult is the outcome of a collection run.
+type CollectResult = orchestrate.Result
+
+// Collect samples the design space and simulates every workload on each
+// configuration in parallel, returning the dataset (the paper's T1-T3
+// pipeline).
+func Collect(ctx context.Context, opt CollectOptions) (CollectResult, error) {
+	return orchestrate.Collect(ctx, opt)
+}
+
+// LoadDataset reads a CSV dataset written by Dataset.SaveFile.
+func LoadDataset(path string) (*Dataset, error) { return dataset.LoadFile(path) }
+
+// TrainSurrogate fits the paper's decision-tree regressor (MSE criterion,
+// unbounded depth, single-sample leaves) for one application's cycles.
+func TrainSurrogate(d *Dataset, app string) (*Tree, error) {
+	y, err := d.Target(app)
+	if err != nil {
+		return nil, err
+	}
+	return dtree.Train(d.X, y, dtree.Options{})
+}
+
+// TrainForestSurrogate fits the random-forest surrogate the paper's
+// conclusion proposes as future work, for one application's cycles.
+func TrainForestSurrogate(d *Dataset, app string, opt ForestOptions) (*Forest, error) {
+	y, err := d.Target(app)
+	if err != nil {
+		return nil, err
+	}
+	return dtree.TrainForest(d.X, y, opt)
+}
+
+// FeatureImportance computes the paper's permutation feature importance for
+// a trained surrogate over the dataset's rows: repeats shuffles per feature
+// scored by mean absolute error, normalised to signed percentages.
+func FeatureImportance(t *Tree, d *Dataset, app string, repeats int, seed int64) ([]Importance, error) {
+	y, err := d.Target(app)
+	if err != nil {
+		return nil, err
+	}
+	return dtree.PermutationImportance(t, d.X, y, d.FeatureNames, repeats, seed)
+}
+
+// TopImportances returns the n largest-magnitude importances, descending.
+func TopImportances(imps []Importance, n int) []Importance { return dtree.TopN(imps, n) }
+
+// Custom-kernel types: declare a new workload ("the modelling approach can
+// be easily applied to new codes") as arrays + loops + per-iteration ops.
+type (
+	// CustomKernel declares a synthetic workload.
+	CustomKernel = workload.CustomKernel
+	// CustomLoop is one loop of a custom kernel.
+	CustomLoop = workload.CustomLoop
+	// CustomOp is one operation of a custom loop body.
+	CustomOp = workload.CustomOp
+	// OpKind selects a custom operation.
+	OpKind = workload.OpKind
+)
+
+// TeaLeaf solver choices (the real mini-app's tl_use_* options); the paper
+// runs SolverCG.
+const (
+	SolverCG     = workload.SolverCG
+	SolverJacobi = workload.SolverJacobi
+	SolverCheby  = workload.SolverCheby
+)
+
+// Custom-op kinds.
+const (
+	OpLoad  = workload.OpLoad
+	OpStore = workload.OpStore
+	OpAdd   = workload.OpAdd
+	OpMul   = workload.OpMul
+	OpFMA   = workload.OpFMA
+	OpDiv   = workload.OpDiv
+)
+
+// NewCustomWorkload validates a kernel description and returns a Workload
+// usable everywhere the built-in applications are (Simulate, Collect,
+// surrogates, experiments).
+func NewCustomWorkload(spec CustomKernel) (Workload, error) {
+	return workload.NewCustom(spec)
+}

@@ -1,0 +1,262 @@
+package armdse_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"armdse"
+)
+
+func tinySuite() []armdse.Workload {
+	return []armdse.Workload{
+		armdse.NewSTREAM(armdse.STREAMInputs{ArraySize: 512, Times: 1}),
+		armdse.NewMiniBUDE(armdse.MiniBUDEInputs{Atoms: 8, Poses: 16, Iterations: 1, Repeats: 1}),
+		armdse.NewTeaLeaf(armdse.TeaLeafInputs{NX: 8, NY: 8, Steps: 1, CGIters: 2, Dt: 0.004}),
+		armdse.NewMiniSweep(armdse.MiniSweepInputs{NX: 2, NY: 2, NZ: 2, Angles: 4, Groups: 1, Sweeps: 1}),
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	for _, w := range tinySuite() {
+		st, err := armdse.Simulate(armdse.ThunderX2(), w)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		if st.Cycles <= 0 || st.Retired <= 0 {
+			t.Errorf("%s: %+v", w.Name(), st)
+		}
+	}
+}
+
+func TestSuitesAndNames(t *testing.T) {
+	test := armdse.TestSuite()
+	paper := armdse.PaperSuite()
+	if len(test) != 4 || len(paper) != 4 {
+		t.Fatal("suites must have four applications")
+	}
+	wantNames := []string{armdse.STREAM, armdse.MiniBUDE, armdse.TeaLeaf, armdse.MiniSweep}
+	for i := range test {
+		if test[i].Name() != wantNames[i] || paper[i].Name() != wantNames[i] {
+			t.Errorf("suite order: %s vs %s", test[i].Name(), wantNames[i])
+		}
+	}
+}
+
+func TestSpaceFacade(t *testing.T) {
+	if len(armdse.Space()) != armdse.NumFeatures {
+		t.Error("space size mismatch")
+	}
+	if len(armdse.FeatureNames()) != armdse.NumFeatures {
+		t.Error("feature names mismatch")
+	}
+	cfgs := armdse.SampleConfigs(1, 5)
+	if len(cfgs) != 5 {
+		t.Fatal("sample count")
+	}
+	for _, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("sampled config invalid: %v", err)
+		}
+		if len(cfg.Features()) != armdse.NumFeatures {
+			t.Error("feature vector size")
+		}
+	}
+}
+
+func TestEndToEndSurrogateFlow(t *testing.T) {
+	ctx := context.Background()
+	res, err := armdse.Collect(ctx, armdse.CollectOptions{
+		Seed:    5,
+		Samples: 40,
+		Suite:   tinySuite(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := armdse.TrainSurrogate(res.Data, armdse.STREAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumFeatures() != armdse.NumFeatures {
+		t.Errorf("surrogate features = %d", tree.NumFeatures())
+	}
+	imps, err := armdse.FeatureImportance(tree, res.Data, armdse.STREAM, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imps) != armdse.NumFeatures {
+		t.Errorf("importances = %d", len(imps))
+	}
+	top := armdse.TopImportances(imps, 3)
+	if len(top) != 3 {
+		t.Errorf("top = %d", len(top))
+	}
+	if _, err := armdse.TrainSurrogate(res.Data, "nope"); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := armdse.FeatureImportance(tree, res.Data, "nope", 2, 5); err == nil {
+		t.Error("unknown app accepted for importance")
+	}
+}
+
+func TestConfigIO(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	cfg := armdse.ThunderX2()
+	if err := armdse.SaveConfig(cfg, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := armdse.LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Core, cfg.Core) || back.Mem != cfg.Mem {
+		t.Errorf("round trip changed config:\n%+v\n%+v", back, cfg)
+	}
+	if _, err := armdse.LoadConfig(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Corrupt JSON.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := armdse.LoadConfig(bad); err == nil {
+		t.Error("corrupt JSON accepted")
+	}
+	// Invalid config.
+	invalid := filepath.Join(t.TempDir(), "invalid.json")
+	broken := cfg
+	broken.Core.ROBSize = 1
+	if err := armdse.SaveConfig(broken, invalid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := armdse.LoadConfig(invalid); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	if len(armdse.Experiments()) != 12 {
+		t.Error("experiment registry size")
+	}
+	r, err := armdse.ExperimentByID("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(context.Background(), armdse.ExperimentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "table2" {
+		t.Error("wrong experiment ran")
+	}
+	if _, err := armdse.ExperimentByID("zzz"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	data, err := armdse.CollectExperimentData(context.Background(), armdse.ExperimentOptions{
+		Samples: 10, Suite: tinySuite(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Len() == 0 {
+		t.Error("no data collected")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestSearchAndSurrogateIO(t *testing.T) {
+	ctx := context.Background()
+	res, err := armdse.Collect(ctx, armdse.CollectOptions{Seed: 6, Samples: 60, Suite: tinySuite()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := armdse.TrainSurrogate(res.Data, armdse.STREAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Surrogate round trip through disk.
+	path := filepath.Join(t.TempDir(), "tree.json")
+	if err := armdse.SaveSurrogate(tree, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := armdse.LoadSurrogate(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := armdse.ThunderX2().Features()
+	if back.Predict(probe) != tree.Predict(probe) {
+		t.Error("surrogate changed across save/load")
+	}
+
+	// Search with the surrogate objective yields a valid design.
+	sr, err := armdse.SearchBest(armdse.SurrogateObjective(tree), armdse.SearchOptions{
+		Seed: 1, Candidates: 500, RefineSteps: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Config.Validate(); err != nil {
+		t.Errorf("search winner invalid: %v", err)
+	}
+
+	// Weighted multi-app objective.
+	t2, err := armdse.TrainSurrogate(res.Data, armdse.TeaLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := armdse.WeightedObjective(
+		[]armdse.Objective{armdse.SurrogateObjective(tree), armdse.SurrogateObjective(t2)},
+		[]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := armdse.SearchBest(obj, armdse.SearchOptions{Seed: 2, Candidates: 200}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partial dependence over the dataset.
+	pd, err := armdse.PartialDependence(tree, res.Data, 0, []float64{128, 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pd) != 2 {
+		t.Errorf("pdp = %v", pd)
+	}
+
+	// Forest surrogate trains and predicts.
+	forest, err := armdse.TrainForestSurrogate(res.Data, armdse.STREAM, armdse.ForestOptions{Trees: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forest.NumTrees() != 5 {
+		t.Errorf("forest trees = %d", forest.NumTrees())
+	}
+	if p := forest.Predict(probe); p <= 0 {
+		t.Errorf("forest prediction = %g", p)
+	}
+}
+
+func TestReferenceConfigsLoad(t *testing.T) {
+	for _, path := range []string{
+		"configs/thunderx2.json",
+		"configs/a64fx-like.json",
+		"configs/neoverse-v1-like.json",
+	} {
+		cfg, err := armdse.LoadConfig(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", path, err)
+		}
+	}
+}

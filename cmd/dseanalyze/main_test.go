@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"armdse"
+)
+
+// writeDataset collects a tiny dataset to analyse.
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	suite := []armdse.Workload{
+		armdse.NewSTREAM(armdse.STREAMInputs{ArraySize: 512, Times: 1}),
+		armdse.NewTeaLeaf(armdse.TeaLeafInputs{NX: 8, NY: 8, Steps: 1, CGIters: 2, Dt: 0.004}),
+	}
+	res, err := armdse.Collect(context.Background(), armdse.CollectOptions{
+		Seed: 9, Samples: 40, Suite: suite,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.csv")
+	if err := res.Data.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAnalysis(t *testing.T) {
+	path := writeDataset(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-data", path, "-repeats", "2", "-top", "5"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"40 rows x 30 features",
+		"Held-out accuracy",
+		"STREAM",
+		"TeaLeaf",
+		"feature importance",
+		"mean accuracy across applications",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("output missing %q", frag)
+		}
+	}
+}
+
+func TestRunAnalysisErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-data", "/no/such.csv"}, &buf, &buf); err == nil {
+		t.Error("missing dataset accepted")
+	}
+	path := writeDataset(t)
+	if err := run([]string{"-data", path, "-split", "1"}, &buf, &buf); err == nil {
+		t.Error("degenerate split accepted")
+	}
+	if err := run([]string{"-zzz"}, &buf, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,84 @@
+// Command dsegen generates a dataset: it samples the design space, simulates
+// every application on each configuration across all cores, and writes the
+// collected cycle counts to CSV — the paper's run_xci.sh + collect_data.py
+// pipeline in one binary.
+//
+// Usage:
+//
+//	dsegen -samples 2000 -seed 1 -out dataset.csv [-workers 16] [-paper]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"armdse"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dsegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dsegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		samples = fs.Int("samples", 2000, "number of design-space configurations to simulate")
+		seed    = fs.Int64("seed", 1, "sampling seed (identical seeds reproduce identical datasets)")
+		out     = fs.String("out", "dataset.csv", "output CSV path")
+		workers = fs.Int("workers", 0, "worker pool size (0 = all cores)")
+		paper   = fs.Bool("paper", false, "use the paper's Table IV inputs (1-5 minute runs each, as in the study)")
+		quiet   = fs.Bool("q", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	suite := armdse.TestSuite()
+	if *paper {
+		suite = armdse.PaperSuite()
+	}
+
+	start := time.Now()
+	opt := armdse.CollectOptions{
+		Seed:     *seed,
+		Samples:  *samples,
+		Workers:  *workers,
+		Suite:    suite,
+		Validate: true,
+	}
+	if !*quiet {
+		opt.Progress = func(done, total int) {
+			if done%50 == 0 || done == total {
+				el := time.Since(start)
+				rate := float64(done) / el.Seconds()
+				eta := time.Duration(float64(total-done)/rate) * time.Second
+				fmt.Fprintf(stderr, "\r%d/%d configs (%.1f/s, eta %s)   ", done, total, rate, eta.Round(time.Second))
+			}
+		}
+	}
+	res, err := armdse.Collect(ctx, opt)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintln(stderr)
+	}
+	if err := res.Data.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s: %d rows x %d features (+%d app targets), %d failed configs, %s\n",
+		*out, res.Data.Len(), res.Data.NumFeatures(), len(res.Data.Apps), res.Failed,
+		time.Since(start).Round(time.Second))
+	return nil
+}

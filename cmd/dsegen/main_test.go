@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"armdse"
+)
+
+func TestRunGeneratesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ds.csv")
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-samples", "3", "-seed", "7", "-out", out, "-q"},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "3 rows x 30 features") {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+	data, err := armdse.LoadDataset(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Len() != 3 || len(data.Apps) != 4 {
+		t.Errorf("dataset shape %d rows, %d apps", data.Len(), len(data.Apps))
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-nope"}, &buf, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run(context.Background(), []string{"-samples", "0", "-q"}, &buf, &buf); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	out := filepath.Join(t.TempDir(), "ds.csv")
+	if err := run(ctx, []string{"-samples", "100", "-out", out, "-q"}, &buf, &buf); err == nil {
+		t.Error("cancelled run succeeded")
+	}
+}

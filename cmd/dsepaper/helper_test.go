@@ -1,0 +1,26 @@
+package main
+
+import (
+	"context"
+	"testing"
+
+	"armdse"
+)
+
+// collectTiny builds a small dataset for -data reuse tests.
+func collectTiny(t *testing.T) (*armdse.Dataset, error) {
+	t.Helper()
+	suite := []armdse.Workload{
+		armdse.NewSTREAM(armdse.STREAMInputs{ArraySize: 512, Times: 1}),
+		armdse.NewMiniBUDE(armdse.MiniBUDEInputs{Atoms: 8, Poses: 16, Iterations: 1, Repeats: 1}),
+		armdse.NewTeaLeaf(armdse.TeaLeafInputs{NX: 8, NY: 8, Steps: 1, CGIters: 2, Dt: 0.004}),
+		armdse.NewMiniSweep(armdse.MiniSweepInputs{NX: 2, NY: 2, NZ: 2, Angles: 4, Groups: 1, Sweeps: 1}),
+	}
+	res, err := armdse.Collect(context.Background(), armdse.CollectOptions{
+		Seed: 13, Samples: 50, Suite: suite,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Data, nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleCheapExperiment(t *testing.T) {
+	outDir := t.TempDir()
+	var out, errBuf bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-only", "table2", "-out", outDir},
+		&out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Vector-Length") {
+		t.Errorf("output missing table2 content")
+	}
+	saved, err := os.ReadFile(filepath.Join(outDir, "table2.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(saved), "Vector-Length") {
+		t.Error("saved file missing content")
+	}
+}
+
+func TestRunWithReusedDataset(t *testing.T) {
+	// Build a tiny dataset via the experiment collector, save it, and
+	// reuse it through -data for fig3.
+	data, err := collectTiny(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.csv")
+	if err := data.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	err = run(context.Background(),
+		[]string{"-only", "fig3", "-data", path},
+		&out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "reusing") {
+		t.Errorf("stderr = %q", errBuf.String())
+	}
+	if !strings.Contains(out.String(), "fig3") {
+		t.Error("fig3 output missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-only", "nope"}, &buf, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run(context.Background(), []string{"-data", "/no/such.csv", "-only", "fig2"}, &buf, &buf); err == nil {
+		t.Error("missing dataset accepted")
+	}
+	if err := run(context.Background(), []string{"-wat"}, &buf, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

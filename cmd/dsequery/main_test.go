@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"armdse"
+)
+
+// fixture builds a dataset CSV and a config JSON for queries.
+func fixture(t *testing.T) (dataPath, cfgPath string) {
+	t.Helper()
+	suite := []armdse.Workload{
+		armdse.NewSTREAM(armdse.STREAMInputs{ArraySize: 512, Times: 1}),
+	}
+	res, err := armdse.Collect(context.Background(), armdse.CollectOptions{
+		Seed: 17, Samples: 60, Suite: suite,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	dataPath = filepath.Join(dir, "ds.csv")
+	if err := res.Data.SaveFile(dataPath); err != nil {
+		t.Fatal(err)
+	}
+	cfgPath = filepath.Join(dir, "cfg.json")
+	if err := armdse.SaveConfig(armdse.ThunderX2(), cfgPath); err != nil {
+		t.Fatal(err)
+	}
+	return dataPath, cfgPath
+}
+
+func TestQueryPredictPdpSearch(t *testing.T) {
+	dataPath, cfgPath := fixture(t)
+	var out, errBuf bytes.Buffer
+	err := run([]string{
+		"-data", dataPath, "-app", "STREAM",
+		"-predict", cfgPath,
+		"-pdp", "L2-Size",
+		"-search", "-candidates", "300",
+	}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"surrogate for STREAM",
+		"predicted cycles for",
+		"Partial dependence of STREAM cycles on L2-Size",
+		"best predicted cycles",
+		"winning configuration",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("output missing %q", frag)
+		}
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	dataPath, _ := fixture(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-data", "/no/such.csv", "-search"}, &buf, &buf); err == nil {
+		t.Error("missing dataset accepted")
+	}
+	if err := run([]string{"-data", dataPath, "-app", "nope", "-search"}, &buf, &buf); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run([]string{"-data", dataPath, "-pdp", "Not-A-Feature"}, &buf, &buf); err == nil {
+		t.Error("unknown feature accepted")
+	}
+	if err := run([]string{"-data", dataPath}, &buf, &buf); err == nil {
+		t.Error("no-op invocation accepted")
+	}
+	if err := run([]string{"-data", dataPath, "-predict", "/no/cfg.json"}, &buf, &buf); err == nil {
+		t.Error("missing config accepted")
+	}
+}

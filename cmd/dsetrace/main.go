@@ -1,0 +1,120 @@
+// Command dsetrace prints a cycle-accurate pipeline trace of a workload's
+// first instructions on a given configuration — dispatch, completion and
+// commit cycles per retired instruction, plus a per-group latency summary.
+// It is the debugging window into the core model.
+//
+// Usage:
+//
+//	dsetrace [-app STREAM] [-config cfg.json] [-vl 512] [-n 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"armdse"
+	"armdse/internal/simeng"
+	"armdse/internal/sstmem"
+	"armdse/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dsetrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dsetrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		app     = fs.String("app", "STREAM", "application: STREAM, miniBUDE, TeaLeaf, MiniSweep")
+		cfgPath = fs.String("config", "", "JSON configuration file (default: ThunderX2 baseline)")
+		vl      = fs.Int("vl", 0, "override SVE vector length in bits")
+		n       = fs.Int("n", 40, "number of retired instructions to print")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := armdse.ThunderX2()
+	if *cfgPath != "" {
+		var err error
+		cfg, err = armdse.LoadConfig(*cfgPath)
+		if err != nil {
+			return err
+		}
+	}
+	if *vl != 0 {
+		cfg.Core.VectorLength = *vl
+		if cfg.Core.LoadBandwidth < *vl/8 {
+			cfg.Core.LoadBandwidth = *vl / 8
+		}
+		if cfg.Core.StoreBandwidth < *vl/8 {
+			cfg.Core.StoreBandwidth = *vl / 8
+		}
+	}
+
+	w := workload.ByName(workload.TestSuite(), *app)
+	if w == nil {
+		return fmt.Errorf("unknown app %q", *app)
+	}
+	prog, err := w.Program(cfg.Core.VectorLength)
+	if err != nil {
+		return err
+	}
+
+	h, err := sstmem.New(cfg.Mem)
+	if err != nil {
+		return err
+	}
+	core, err := simeng.New(cfg.Core, h)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "%-6s %-10s %-9s %5s %10s %10s %10s %8s\n",
+		"seq", "pc", "op", "sve", "dispatch", "done", "commit", "latency")
+	printed := 0
+	type agg struct {
+		count int64
+		lat   int64
+	}
+	byGroup := map[string]*agg{}
+	core.SetTracer(func(ev simeng.TraceEvent) {
+		lat := ev.Done - ev.Dispatched
+		if printed < *n {
+			sve := ""
+			if ev.SVE {
+				sve = "sve"
+			}
+			fmt.Fprintf(stdout, "%-6d %#-10x %-9s %5s %10d %10d %10d %8d\n",
+				ev.Seq, ev.PC, ev.Op, sve, ev.Dispatched, ev.Done, ev.Committed, lat)
+			printed++
+		}
+		g := byGroup[ev.Op.String()]
+		if g == nil {
+			g = &agg{}
+			byGroup[ev.Op.String()] = g
+		}
+		g.count++
+		g.lat += lat
+	})
+
+	st, err := core.Run(prog.Stream())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\ntotal: %d instructions in %d cycles (IPC %.2f)\n", st.Retired, st.Cycles, st.IPC())
+	fmt.Fprintf(stdout, "\n%-10s %10s %14s\n", "group", "retired", "avg dispatch->done")
+	for _, name := range []string{"INT_ALU", "INT_MUL", "INT_DIV", "FP_ADD", "FP_MUL", "FP_FMA", "FP_DIV",
+		"SVE_ADD", "SVE_MUL", "SVE_FMA", "SVE_DIV", "PRED", "LOAD", "STORE", "BRANCH"} {
+		if g, ok := byGroup[name]; ok {
+			fmt.Fprintf(stdout, "%-10s %10d %14.1f\n", name, g.count, float64(g.lat)/float64(g.count))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceOutput(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-app", "miniBUDE", "-n", "5"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"seq", "dispatch", "commit", "total:", "SVE_FMA", "LOAD"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("output missing %q", frag)
+		}
+	}
+	// Exactly 5 trace rows between the header and the summary.
+	lines := strings.Split(s, "\n")
+	rows := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "0 ") || strings.HasPrefix(l, "1 ") ||
+			strings.HasPrefix(l, "2 ") || strings.HasPrefix(l, "3 ") ||
+			strings.HasPrefix(l, "4 ") {
+			rows++
+		}
+	}
+	if rows != 5 {
+		t.Errorf("trace rows = %d, want 5", rows)
+	}
+}
+
+func TestTraceVLOverride(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-app", "STREAM", "-vl", "512", "-n", "2"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "total:") {
+		t.Error("missing summary")
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-app", "nope"}, &buf, &buf); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run([]string{"-config", "/no/file.json"}, &buf, &buf); err == nil {
+		t.Error("missing config accepted")
+	}
+	if err := run([]string{"-vl", "99"}, &buf, &buf); err == nil {
+		t.Error("invalid VL accepted")
+	}
+}

@@ -1,0 +1,89 @@
+// codesign demonstrates the hardware/software co-design loop that motivates
+// the paper's introduction: train a surrogate for a target application, let
+// the search API screen tens of thousands of candidate designs and
+// hill-climb the winner (microseconds per candidate instead of the
+// simulator's seconds), then verify the winner with a real simulation — the
+// A64FX-style "design for a finite set of HPC applications" workflow.
+//
+//	go run ./examples/codesign [-app miniBUDE]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"armdse"
+)
+
+func main() {
+	app := flag.String("app", "miniBUDE", "target application to co-design for")
+	flag.Parse()
+
+	ctx := context.Background()
+
+	// Phase 1: collect training data with the real simulator.
+	fmt.Println("phase 1: simulating 300 training configurations...")
+	res, err := armdse.Collect(ctx, armdse.CollectOptions{Seed: 11, Samples: 300})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := armdse.TrainSurrogate(res.Data, *app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 2: surrogate-guided search — random screening plus discrete
+	// hill-climbing, with the paper's sampling constraints repaired
+	// automatically.
+	fmt.Println("phase 2: searching the design space on the surrogate...")
+	start := time.Now()
+	best, err := armdse.SearchBest(armdse.SurrogateObjective(tree), armdse.SearchOptions{
+		Seed:        99,
+		Candidates:  20000,
+		RefineSteps: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("screened %d + refined %d candidates in %s (predicted best: %.0f cycles)\n",
+		best.Screened, best.Refined, time.Since(start).Round(time.Millisecond), best.Score)
+
+	winner := best.Config
+	fmt.Printf("winning design: VL=%d ROB=%d FPregs=%d L1=%dKiB L2=%dKiB line=%dB\n",
+		winner.Core.VectorLength, winner.Core.ROBSize, winner.Core.FPSVERegisters,
+		winner.Mem.L1DSize/1024, winner.Mem.L2Size/1024, winner.Mem.CacheLineWidth)
+
+	// Phase 3: verify the winner with the real simulator against the
+	// ThunderX2 baseline.
+	var target armdse.Workload
+	for _, w := range armdse.TestSuite() {
+		if w.Name() == *app {
+			target = w
+		}
+	}
+	if target == nil {
+		log.Fatalf("unknown app %q", *app)
+	}
+	stWin, err := armdse.Simulate(winner, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stBase, err := armdse.Simulate(armdse.ThunderX2(), target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 3: verified on the simulator: %d cycles (predicted %.0f, %.1f%% off)\n",
+		stWin.Cycles, best.Score, 100*abs(float64(stWin.Cycles)-best.Score)/float64(stWin.Cycles))
+	fmt.Printf("co-designed core is %.2fx faster than the ThunderX2 baseline on %s\n",
+		float64(stBase.Cycles)/float64(stWin.Cycles), *app)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

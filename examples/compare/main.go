@@ -1,0 +1,51 @@
+// compare runs the four applications across the repo's reference design
+// points (configs/) and prints a cycles grid — the "which machine should we
+// buy/build for these codes" comparison that motivates design-space studies.
+//
+//	go run ./examples/compare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"armdse"
+)
+
+func main() {
+	designs := []struct{ name, path string }{
+		{"ThunderX2", "configs/thunderx2.json"},
+		{"A64FX-like", "configs/a64fx-like.json"},
+		{"NeoverseV1-like", "configs/neoverse-v1-like.json"},
+	}
+
+	suite := armdse.TestSuite()
+	fmt.Printf("%-16s", "design")
+	for _, w := range suite {
+		fmt.Printf("  %-12s", w.Name())
+	}
+	fmt.Println("  (cycles; lower is better)")
+
+	base := make([]int64, len(suite))
+	for di, d := range designs {
+		cfg, err := armdse.LoadConfig(d.path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s", d.name)
+		for wi, w := range suite {
+			st, err := armdse.Simulate(cfg, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if di == 0 {
+				base[wi] = st.Cycles
+				fmt.Printf("  %-12d", st.Cycles)
+			} else {
+				fmt.Printf("  %-12s", fmt.Sprintf("%d (%.2fx)", st.Cycles, float64(base[wi])/float64(st.Cycles)))
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nspeedups are relative to the ThunderX2 baseline")
+}

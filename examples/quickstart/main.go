@@ -1,0 +1,45 @@
+// Quickstart: simulate one HPC workload on the ThunderX2 baseline and on a
+// randomly sampled design-space configuration, and compare the cycle counts.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"armdse"
+)
+
+func main() {
+	// The STREAM benchmark at the scaled test input (25k-element arrays).
+	stream := armdse.NewSTREAM(armdse.TestSTREAMInputs())
+	if err := stream.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. The fixed Marvell ThunderX2 baseline (the paper's Table I model).
+	base := armdse.ThunderX2()
+	st, err := armdse.Simulate(base, stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ThunderX2 baseline: %d cycles, IPC %.2f, %.1f%% SVE instructions\n",
+		st.Cycles, st.IPC(), st.VectorisationPct())
+
+	// 2. A random point from the paper's 30-parameter design space.
+	cfg := armdse.SampleConfigs(42, 1)[0]
+	st2, err := armdse.Simulate(cfg, stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sampled config:     %d cycles, IPC %.2f (VL=%d, ROB=%d, L2=%d KiB)\n",
+		st2.Cycles, st2.IPC(),
+		cfg.Core.VectorLength, cfg.Core.ROBSize, cfg.Mem.L2Size/1024)
+
+	if st2.Cycles < st.Cycles {
+		fmt.Printf("the sampled design is %.2fx faster on STREAM\n", float64(st.Cycles)/float64(st2.Cycles))
+	} else {
+		fmt.Printf("the baseline is %.2fx faster on STREAM\n", float64(st2.Cycles)/float64(st.Cycles))
+	}
+}

@@ -1,0 +1,68 @@
+// surrogate runs the paper's core machine-learning flow end to end at a
+// small scale: collect a dataset over the design space, train one
+// decision-tree surrogate per application, evaluate held-out accuracy, and
+// rank the most important micro-architectural parameters.
+//
+//	go run ./examples/surrogate [-samples 400]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	"armdse"
+)
+
+func main() {
+	samples := flag.Int("samples", 400, "design-space configurations to simulate")
+	flag.Parse()
+
+	ctx := context.Background()
+	fmt.Printf("simulating %d configurations x 4 applications...\n", *samples)
+	res, err := armdse.Collect(ctx, armdse.CollectOptions{
+		Seed:    7,
+		Samples: *samples,
+		Suite:   armdse.TestSuite(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := res.Data
+	fmt.Printf("dataset: %d rows x %d features\n\n", data.Len(), data.NumFeatures())
+
+	train, test := data.Split(7, 0.8)
+	for _, app := range data.Apps {
+		// Accuracy on held-out data (the paper's Fig. 2 protocol).
+		tree, err := armdse.TrainSurrogate(train, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		yTest, _ := test.Target(app)
+		pred := tree.PredictAll(test.X)
+		var within25 int
+		for i := range pred {
+			if d := pred[i] - yTest[i]; d < 0.25*yTest[i] && d > -0.25*yTest[i] {
+				within25++
+			}
+		}
+		fmt.Printf("%-10s surrogate: %d leaves, %d deep; %d/%d held-out predictions within 25%%\n",
+			app, tree.NumLeaves(), tree.Depth(), within25, len(pred))
+
+		// Importance on the full dataset (the paper's Fig. 3 protocol).
+		full, err := armdse.TrainSurrogate(data, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		imps, err := armdse.FeatureImportance(full, data, app, 10, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s top parameters:", "")
+		for _, im := range armdse.TopImportances(imps, 3) {
+			fmt.Printf("  %s (%.1f%%)", im.Feature, im.Pct)
+		}
+		fmt.Println()
+	}
+}

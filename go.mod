@@ -1,0 +1,3 @@
+module armdse
+
+go 1.22

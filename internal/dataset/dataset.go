@@ -1,0 +1,346 @@
+// Package dataset stores the study's collected data: one row per sampled
+// configuration holding the 30 design-space features plus the simulated
+// cycle count of each application, with CSV persistence, randomised
+// train/test splitting, and the slicing operations the paper's analysis
+// uses (constraining a feature to one value, binning by a feature).
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// targetPrefix marks target (cycle-count) columns in CSV headers.
+const targetPrefix = "cycles:"
+
+// Dataset is a feature matrix with one or more named target columns.
+type Dataset struct {
+	// FeatureNames are the input column names, in order.
+	FeatureNames []string
+	// Apps are the target column names (application names), in order.
+	Apps []string
+	// X holds one feature vector per row.
+	X [][]float64
+	// Y holds one target slice per app, parallel to X.
+	Y map[string][]float64
+}
+
+// New builds an empty dataset with the given feature and target columns.
+func New(featureNames, apps []string) *Dataset {
+	d := &Dataset{
+		FeatureNames: append([]string(nil), featureNames...),
+		Apps:         append([]string(nil), apps...),
+		Y:            make(map[string][]float64, len(apps)),
+	}
+	for _, a := range apps {
+		d.Y[a] = nil
+	}
+	return d
+}
+
+// Len returns the number of rows.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// NumFeatures returns the input dimensionality.
+func (d *Dataset) NumFeatures() int { return len(d.FeatureNames) }
+
+// Append adds one row. The feature vector is copied; targets must cover
+// every app column.
+func (d *Dataset) Append(features []float64, targets map[string]float64) error {
+	if len(features) != len(d.FeatureNames) {
+		return fmt.Errorf("dataset: row has %d features, want %d", len(features), len(d.FeatureNames))
+	}
+	for _, a := range d.Apps {
+		if _, ok := targets[a]; !ok {
+			return fmt.Errorf("dataset: row missing target %q", a)
+		}
+	}
+	d.X = append(d.X, append([]float64(nil), features...))
+	for _, a := range d.Apps {
+		d.Y[a] = append(d.Y[a], targets[a])
+	}
+	return nil
+}
+
+// Target returns the target column for app.
+func (d *Dataset) Target(app string) ([]float64, error) {
+	y, ok := d.Y[app]
+	if !ok {
+		return nil, fmt.Errorf("dataset: no target %q", app)
+	}
+	return y, nil
+}
+
+// Column returns a copy of feature column i.
+func (d *Dataset) Column(i int) []float64 {
+	out := make([]float64, d.Len())
+	for r, row := range d.X {
+		out[r] = row[i]
+	}
+	return out
+}
+
+// FeatureIndex returns the index of the named feature, or -1.
+func (d *Dataset) FeatureIndex(name string) int {
+	for i, n := range d.FeatureNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// clone copies the dataset structure with the given row indices.
+func (d *Dataset) clone(rows []int) *Dataset {
+	out := New(d.FeatureNames, d.Apps)
+	for _, r := range rows {
+		out.X = append(out.X, d.X[r])
+		for _, a := range d.Apps {
+			out.Y[a] = append(out.Y[a], d.Y[a][r])
+		}
+	}
+	return out
+}
+
+// Split partitions the rows into a training set holding trainFrac of the
+// data and a test set holding the remainder, shuffled deterministically by
+// seed — the paper's randomised 80/20 split with trainFrac = 0.8.
+func (d *Dataset) Split(seed int64, trainFrac float64) (train, test *Dataset) {
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	cut := int(float64(len(idx)) * trainFrac)
+	if cut < 0 {
+		cut = 0
+	}
+	if cut > len(idx) {
+		cut = len(idx)
+	}
+	return d.clone(idx[:cut]), d.clone(idx[cut:])
+}
+
+// FilterEqual returns the rows whose feature col equals value — the paper's
+// Fig. 4/5 constraint of vector length to 128 or 2048.
+func (d *Dataset) FilterEqual(col int, value float64) *Dataset {
+	var rows []int
+	for r, row := range d.X {
+		if row[col] == value {
+			rows = append(rows, r)
+		}
+	}
+	return d.clone(rows)
+}
+
+// FilterAtLeast returns the rows whose feature col is >= value — the paper's
+// Fig. 6 Load-Bandwidth > 256 filter.
+func (d *Dataset) FilterAtLeast(col int, value float64) *Dataset {
+	var rows []int
+	for r, row := range d.X {
+		if row[col] >= value {
+			rows = append(rows, r)
+		}
+	}
+	return d.clone(rows)
+}
+
+// MeanTargetByValue groups rows by the exact value of feature col and
+// returns, for each distinct value in ascending order, the mean of app's
+// target over the group — the machinery behind the paper's Figs. 6-8 mean
+// speedup curves.
+func (d *Dataset) MeanTargetByValue(col int, app string) (values, means []float64, err error) {
+	y, err := d.Target(app)
+	if err != nil {
+		return nil, nil, err
+	}
+	sums := map[float64]float64{}
+	counts := map[float64]int{}
+	for r, row := range d.X {
+		v := row[col]
+		sums[v] += y[r]
+		counts[v]++
+	}
+	for v := range sums {
+		values = append(values, v)
+	}
+	sortFloats(values)
+	means = make([]float64, len(values))
+	for i, v := range values {
+		means[i] = sums[v] / float64(counts[v])
+	}
+	return values, means, nil
+}
+
+// MeanTargetByBins groups rows into nbins equal-width bins over feature col
+// and returns, for each non-empty bin in ascending order, the bin centre and
+// the mean of app's target. Figs. 7-8 use this for the many-valued
+// parameters (ROB size, register counts) where exact-value grouping would be
+// too sparse.
+func (d *Dataset) MeanTargetByBins(col int, app string, nbins int) (centers, means []float64, err error) {
+	y, err := d.Target(app)
+	if err != nil {
+		return nil, nil, err
+	}
+	if nbins < 1 {
+		return nil, nil, fmt.Errorf("dataset: nbins %d < 1", nbins)
+	}
+	if d.Len() == 0 {
+		return nil, nil, fmt.Errorf("dataset: empty dataset")
+	}
+	lo, hi := d.X[0][col], d.X[0][col]
+	for _, row := range d.X {
+		if row[col] < lo {
+			lo = row[col]
+		}
+		if row[col] > hi {
+			hi = row[col]
+		}
+	}
+	if hi == lo {
+		return []float64{lo}, []float64{meanOf(y)}, nil
+	}
+	width := (hi - lo) / float64(nbins)
+	sums := make([]float64, nbins)
+	counts := make([]int, nbins)
+	for r, row := range d.X {
+		b := int((row[col] - lo) / width)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		sums[b] += y[r]
+		counts[b]++
+	}
+	for b := 0; b < nbins; b++ {
+		if counts[b] == 0 {
+			continue
+		}
+		centers = append(centers, lo+width*(float64(b)+0.5))
+		means = append(means, sums[b]/float64(counts[b]))
+	}
+	return centers, means, nil
+}
+
+func meanOf(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func sortFloats(a []float64) {
+	// Insertion sort: value sets here are tiny (parameter levels).
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// WriteCSV writes the dataset with a header row.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string(nil), d.FeatureNames...)
+	for _, a := range d.Apps {
+		header = append(header, targetPrefix+a)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for r := range d.X {
+		for i, v := range d.X[r] {
+			rec[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		for j, a := range d.Apps {
+			rec[len(d.FeatureNames)+j] = strconv.FormatFloat(d.Y[a][r], 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	var features, apps []string
+	for _, h := range header {
+		if strings.HasPrefix(h, targetPrefix) {
+			apps = append(apps, strings.TrimPrefix(h, targetPrefix))
+		} else {
+			if len(apps) > 0 {
+				return nil, fmt.Errorf("dataset: feature column %q after target columns", h)
+			}
+			features = append(features, h)
+		}
+	}
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("dataset: no target columns in header")
+	}
+	d := New(features, apps)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		row := make([]float64, len(features))
+		for i := range features {
+			row[i], err = strconv.ParseFloat(rec[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d col %d: %w", line, i, err)
+			}
+		}
+		d.X = append(d.X, row)
+		for j, a := range apps {
+			v, err := strconv.ParseFloat(rec[len(features)+j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d target %s: %w", line, a, err)
+			}
+			d.Y[a] = append(d.Y[a], v)
+		}
+	}
+	return d, nil
+}
+
+// SaveFile writes the dataset to path.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := d.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}

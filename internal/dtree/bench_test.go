@@ -1,0 +1,74 @@
+package dtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchData builds a 30-feature dataset resembling the study's shape.
+func benchData(n int) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(20))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, 30)
+		for j := range row {
+			row[j] = rng.Float64() * 100
+		}
+		x[i] = row
+		y[i] = 1000 + 50*row[0] + 20*row[5]*row[5]/100 + rng.NormFloat64()*30
+	}
+	return x, y
+}
+
+func BenchmarkTrain2k(b *testing.B) {
+	x, y := benchData(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(x, y, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	x, y := benchData(2000)
+	tree, err := Train(x, y, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += tree.Predict(x[i%len(x)])
+	}
+	_ = sink
+}
+
+func BenchmarkPermutationImportance(b *testing.B) {
+	x, y := benchData(1000)
+	tree, err := Train(x, y, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, 30)
+	for i := range names {
+		names[i] = "f"
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PermutationImportance(tree, x, y, names, 2, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainForest(b *testing.B) {
+	x, y := benchData(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainForest(x, y, ForestOptions{Trees: 10, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// Package dtree implements the study's surrogate model: a CART decision-tree
+// regressor matching the paper's scikit-learn configuration — mean-squared-
+// error split criterion with best-split selection, no maximum depth, no
+// maximum leaf count, and single-sample leaves — plus the permutation
+// feature importance analysis used to rank parameters (§V-C, §VI-B).
+package dtree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Options configure training. The zero value is the paper's configuration:
+// unlimited depth, single-sample leaves, all features considered at every
+// split.
+type Options struct {
+	// MaxDepth caps tree depth; 0 means unlimited.
+	MaxDepth int
+	// MinSamplesLeaf is the minimum samples in each child of a split;
+	// values below 1 are treated as 1.
+	MinSamplesLeaf int
+	// MaxFeatures, when positive and below the feature count, restricts
+	// each split to a random subset of that many features (random-forest
+	// style). Requires Seed for determinism.
+	MaxFeatures int
+	// Seed drives the per-split feature subsampling when MaxFeatures is
+	// set.
+	Seed int64
+}
+
+// node is one tree node. Leaves have feature == -1.
+type node struct {
+	threshold float64
+	value     float64
+	feature   int32
+	left      int32
+	right     int32
+}
+
+// Tree is a trained regression tree.
+type Tree struct {
+	nodes     []node
+	nFeatures int
+}
+
+// trainer carries shared state through the recursive build.
+type trainer struct {
+	x    [][]float64
+	y    []float64
+	opt  Options
+	tree *Tree
+	// idx is the working permutation of sample indices; each node owns a
+	// contiguous sub-slice.
+	idx []int
+	// scratch buffers for the per-feature sort.
+	perm []int
+	// rng and featBuf implement per-split feature subsampling.
+	rng     *rand.Rand
+	featBuf []int
+}
+
+// Train fits a regression tree to X (rows × features) and y.
+func Train(x [][]float64, y []float64, opt Options) (*Tree, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("dtree: empty training set")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("dtree: %d rows but %d targets", len(x), len(y))
+	}
+	nf := len(x[0])
+	if nf == 0 {
+		return nil, fmt.Errorf("dtree: zero features")
+	}
+	for i, row := range x {
+		if len(row) != nf {
+			return nil, fmt.Errorf("dtree: row %d has %d features, want %d", i, len(row), nf)
+		}
+	}
+	if opt.MinSamplesLeaf < 1 {
+		opt.MinSamplesLeaf = 1
+	}
+	tr := &trainer{
+		x:    x,
+		y:    y,
+		opt:  opt,
+		tree: &Tree{nFeatures: nf},
+		idx:  make([]int, len(x)),
+		perm: make([]int, len(x)),
+	}
+	if opt.MaxFeatures > 0 && opt.MaxFeatures < nf {
+		tr.rng = rand.New(rand.NewSource(opt.Seed))
+		tr.featBuf = make([]int, nf)
+		for i := range tr.featBuf {
+			tr.featBuf[i] = i
+		}
+	}
+	for i := range tr.idx {
+		tr.idx[i] = i
+	}
+	tr.build(tr.idx, 1)
+	return tr.tree, nil
+}
+
+// build grows the subtree over the samples in idx and returns its node index.
+func (tr *trainer) build(idx []int, depth int) int32 {
+	n := len(idx)
+	var sum, sumSq float64
+	for _, i := range idx {
+		sum += tr.y[i]
+		sumSq += tr.y[i] * tr.y[i]
+	}
+	mean := sum / float64(n)
+	self := int32(len(tr.tree.nodes))
+	tr.tree.nodes = append(tr.tree.nodes, node{feature: -1, value: mean})
+
+	if n < 2*tr.opt.MinSamplesLeaf {
+		return self
+	}
+	if tr.opt.MaxDepth > 0 && depth >= tr.opt.MaxDepth {
+		return self
+	}
+	parentSSE := sumSq - sum*sum/float64(n)
+	if parentSSE <= 1e-12 {
+		return self // already pure
+	}
+
+	bestFeature := -1
+	bestPos := -1
+	bestThreshold := 0.0
+	bestGain := 0.0
+	for _, f := range tr.splitFeatures() {
+		perm := tr.perm[:n]
+		copy(perm, idx)
+		xf := tr.x
+		sort.Slice(perm, func(a, b int) bool { return xf[perm[a]][f] < xf[perm[b]][f] })
+		// Scan split points between distinct consecutive values.
+		var lSum, lSq float64
+		for k := 0; k < n-1; k++ {
+			yi := tr.y[perm[k]]
+			lSum += yi
+			lSq += yi * yi
+			nl := k + 1
+			nr := n - nl
+			if nl < tr.opt.MinSamplesLeaf || nr < tr.opt.MinSamplesLeaf {
+				continue
+			}
+			v0 := tr.x[perm[k]][f]
+			v1 := tr.x[perm[k+1]][f]
+			if v0 == v1 {
+				continue
+			}
+			rSum := sum - lSum
+			rSq := sumSq - lSq
+			sse := (lSq - lSum*lSum/float64(nl)) + (rSq - rSum*rSum/float64(nr))
+			gain := parentSSE - sse
+			if gain > bestGain+1e-12 {
+				bestGain = gain
+				bestFeature = f
+				bestPos = nl
+				bestThreshold = v0 + (v1-v0)/2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return self
+	}
+
+	// Partition idx in place around the chosen split.
+	left := make([]int, 0, bestPos)
+	right := make([]int, 0, n-bestPos)
+	for _, i := range idx {
+		if tr.x[i][bestFeature] <= bestThreshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return self // numeric degeneracy; keep the leaf
+	}
+	copy(idx, left)
+	copy(idx[len(left):], right)
+
+	l := tr.build(idx[:len(left)], depth+1)
+	r := tr.build(idx[len(left):], depth+1)
+	tr.tree.nodes[self].feature = int32(bestFeature)
+	tr.tree.nodes[self].threshold = bestThreshold
+	tr.tree.nodes[self].left = l
+	tr.tree.nodes[self].right = r
+	return self
+}
+
+// splitFeatures returns the feature indices to scan at the current node:
+// all of them, or a fresh random subset when MaxFeatures is configured.
+func (tr *trainer) splitFeatures() []int {
+	if tr.rng == nil {
+		if tr.featBuf == nil {
+			tr.featBuf = make([]int, tr.tree.nFeatures)
+			for i := range tr.featBuf {
+				tr.featBuf[i] = i
+			}
+		}
+		return tr.featBuf
+	}
+	tr.rng.Shuffle(len(tr.featBuf), func(a, b int) {
+		tr.featBuf[a], tr.featBuf[b] = tr.featBuf[b], tr.featBuf[a]
+	})
+	return tr.featBuf[:tr.opt.MaxFeatures]
+}
+
+// NumFeatures returns the model's input dimensionality.
+func (t *Tree) NumFeatures() int { return t.nFeatures }
+
+// NumNodes returns the total node count.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// NumLeaves returns the leaf count.
+func (t *Tree) NumLeaves() int {
+	n := 0
+	for _, nd := range t.nodes {
+		if nd.feature < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Depth returns the maximum depth (a lone root has depth 1).
+func (t *Tree) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	var walk func(i int32) int
+	walk = func(i int32) int {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return 1
+		}
+		l, r := walk(nd.left), walk(nd.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(0)
+}
+
+// Predict evaluates the tree on one feature vector.
+func (t *Tree) Predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return nd.value
+		}
+		if x[nd.feature] <= nd.threshold {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// PredictAll evaluates the tree on every row.
+func (t *Tree) PredictAll(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = t.Predict(row)
+	}
+	return out
+}
+
+// MAE returns the mean absolute error of the model over (x, y).
+func (t *Tree) MAE(x [][]float64, y []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for i, row := range x {
+		s += math.Abs(t.Predict(row) - y[i])
+	}
+	return s / float64(len(x))
+}
+
+// MSE returns the mean squared error of the model over (x, y).
+func (t *Tree) MSE(x [][]float64, y []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for i, row := range x {
+		d := t.Predict(row) - y[i]
+		s += d * d
+	}
+	return s / float64(len(x))
+}

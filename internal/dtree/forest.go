@@ -1,0 +1,103 @@
+package dtree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ForestOptions configure random-forest training.
+type ForestOptions struct {
+	// Trees is the ensemble size (default 30).
+	Trees int
+	// MaxFeatures restricts each split to a random feature subset;
+	// 0 selects the regression default of nFeatures/3 (minimum 1).
+	MaxFeatures int
+	// MinSamplesLeaf is the per-tree leaf minimum (default 1).
+	MinSamplesLeaf int
+	// Seed drives bootstrap sampling and feature subsampling.
+	Seed int64
+}
+
+// Forest is a bagged ensemble of regression trees — the "more complex
+// surrogate model" the paper's conclusion proposes as future work. Each tree
+// trains on a bootstrap resample with per-split feature subsampling and
+// predictions average the ensemble.
+type Forest struct {
+	trees []*Tree
+}
+
+// TrainForest fits a random forest to X and y.
+func TrainForest(x [][]float64, y []float64, opt ForestOptions) (*Forest, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("dtree: empty training set")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("dtree: %d rows but %d targets", len(x), len(y))
+	}
+	if opt.Trees <= 0 {
+		opt.Trees = 30
+	}
+	nf := len(x[0])
+	if opt.MaxFeatures <= 0 {
+		opt.MaxFeatures = nf / 3
+		if opt.MaxFeatures < 1 {
+			opt.MaxFeatures = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	f := &Forest{trees: make([]*Tree, opt.Trees)}
+	n := len(x)
+	bx := make([][]float64, n)
+	by := make([]float64, n)
+	for t := 0; t < opt.Trees; t++ {
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i] = x[j]
+			by[i] = y[j]
+		}
+		tree, err := Train(bx, by, Options{
+			MinSamplesLeaf: opt.MinSamplesLeaf,
+			MaxFeatures:    opt.MaxFeatures,
+			Seed:           rng.Int63(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.trees[t] = tree
+	}
+	return f, nil
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// Predict evaluates the forest on one feature vector.
+func (f *Forest) Predict(x []float64) float64 {
+	var s float64
+	for _, t := range f.trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// PredictAll evaluates the forest on every row.
+func (f *Forest) PredictAll(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = f.Predict(row)
+	}
+	return out
+}
+
+// MAE returns the forest's mean absolute error over (x, y).
+func (f *Forest) MAE(x [][]float64, y []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for i, row := range x {
+		s += math.Abs(f.Predict(row) - y[i])
+	}
+	return s / float64(len(x))
+}

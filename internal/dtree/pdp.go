@@ -1,0 +1,41 @@
+package dtree
+
+import "fmt"
+
+// Predictor is any model that maps a feature vector to a prediction; both
+// Tree and Forest satisfy it.
+type Predictor interface {
+	Predict(x []float64) float64
+}
+
+// PartialDependence computes the partial-dependence curve of a model for one
+// feature: for each value in values, every row of x has feature col forced
+// to that value and the predictions are averaged. It is the model-based
+// analogue of the paper's Figs. 6-8 data probes — "what does the surrogate
+// say happens to cycles, on average, as this one parameter moves?"
+func PartialDependence(m Predictor, x [][]float64, col int, values []float64) ([]float64, error) {
+	if m == nil {
+		return nil, fmt.Errorf("dtree: nil model")
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("dtree: empty background set")
+	}
+	if col < 0 || col >= len(x[0]) {
+		return nil, fmt.Errorf("dtree: feature %d out of range", col)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("dtree: no values")
+	}
+	row := make([]float64, len(x[0]))
+	out := make([]float64, len(values))
+	for vi, v := range values {
+		var sum float64
+		for _, r := range x {
+			copy(row, r)
+			row[col] = v
+			sum += m.Predict(row)
+		}
+		out[vi] = sum / float64(len(x))
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package dtree
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// treeJSON is the on-disk form of a Tree.
+type treeJSON struct {
+	NFeatures int        `json:"n_features"`
+	Nodes     []nodeJSON `json:"nodes"`
+}
+
+type nodeJSON struct {
+	Feature   int32   `json:"f"`
+	Threshold float64 `json:"t,omitempty"`
+	Value     float64 `json:"v"`
+	Left      int32   `json:"l,omitempty"`
+	Right     int32   `json:"r,omitempty"`
+}
+
+// Write serialises the tree as JSON, so a trained surrogate can be shipped
+// and reused without retraining (the paper's "easily applied to new codes or
+// a new system design" deployment story).
+func (t *Tree) Write(w io.Writer) error {
+	tj := treeJSON{NFeatures: t.nFeatures, Nodes: make([]nodeJSON, len(t.nodes))}
+	for i, nd := range t.nodes {
+		tj.Nodes[i] = nodeJSON{
+			Feature:   nd.feature,
+			Threshold: nd.threshold,
+			Value:     nd.value,
+			Left:      nd.left,
+			Right:     nd.right,
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(tj); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a tree written by Write and validates its structure.
+func Read(r io.Reader) (*Tree, error) {
+	var tj treeJSON
+	if err := json.NewDecoder(r).Decode(&tj); err != nil {
+		return nil, fmt.Errorf("dtree: decoding tree: %w", err)
+	}
+	if tj.NFeatures < 1 {
+		return nil, fmt.Errorf("dtree: invalid feature count %d", tj.NFeatures)
+	}
+	if len(tj.Nodes) == 0 {
+		return nil, fmt.Errorf("dtree: empty tree")
+	}
+	t := &Tree{nFeatures: tj.NFeatures, nodes: make([]node, len(tj.Nodes))}
+	n := int32(len(tj.Nodes))
+	for i, nd := range tj.Nodes {
+		if nd.Feature >= 0 {
+			if nd.Feature >= int32(tj.NFeatures) {
+				return nil, fmt.Errorf("dtree: node %d splits on feature %d of %d", i, nd.Feature, tj.NFeatures)
+			}
+			if nd.Left <= int32(i) || nd.Left >= n || nd.Right <= int32(i) || nd.Right >= n {
+				return nil, fmt.Errorf("dtree: node %d has out-of-order children (%d, %d)", i, nd.Left, nd.Right)
+			}
+		}
+		t.nodes[i] = node{
+			feature:   nd.Feature,
+			threshold: nd.Threshold,
+			value:     nd.Value,
+			left:      nd.Left,
+			right:     nd.Right,
+		}
+	}
+	return t, nil
+}
+
+// SaveFile writes the tree to path.
+func (t *Tree) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a tree from path.
+func LoadFile(path string) (*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

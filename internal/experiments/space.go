@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"armdse/internal/params"
+	"armdse/internal/report"
+	"armdse/internal/workload"
+)
+
+// renderSpace renders a slice of the design space as a Table II/III-style
+// range table.
+func renderSpace(title string, ps []params.Param) report.Table {
+	tbl := report.Table{
+		Title:   title,
+		Columns: []string{"Parameter", "Range", "Values"},
+	}
+	for _, p := range ps {
+		var rng, step string
+		if p.Scale == params.Pow2 {
+			rng = fmt.Sprintf("{%s - %s}", report.I(p.Min), report.I(p.Max))
+			step = "Powers of 2"
+		} else {
+			rng = fmt.Sprintf("{%s - %s}", trim(p.Min), trim(p.Max))
+			step = "Step " + trim(p.Step)
+		}
+		tbl.AddRow(p.Name, rng, step)
+	}
+	return tbl
+}
+
+func trim(v float64) string {
+	s := report.F(v, 2)
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// Table2 renders the paper's Table II: the 18 SimEng core parameters with
+// their explored ranges and steps.
+func Table2(ctx context.Context, opt Options) (Result, error) {
+	sp := params.Space()
+	return Result{
+		ID:     "table2",
+		Title:  "SimEng core parameters with ranges and steps",
+		Tables: []report.Table{renderSpace("Core parameter space (Table II)", sp[:18])},
+	}, ctx.Err()
+}
+
+// Table3 renders the memory-parameter space standing in for the paper's
+// Table III (whose content is an image in the source text; DESIGN.md records
+// the reconstruction from the prose).
+func Table3(ctx context.Context, opt Options) (Result, error) {
+	sp := params.Space()
+	return Result{
+		ID:     "table3",
+		Title:  "SST memory model parameters with ranges and steps",
+		Tables: []report.Table{renderSpace("Memory parameter space (Table III, reconstructed)", sp[18:])},
+		Notes: []string{
+			"Table III is an image in the source text; the 12 parameters here are reconstructed from the paper's prose (L1 clock/latency, L2 size/latency, cache line width, RAM latency/bandwidth) to reach the stated 30 model features.",
+		},
+	}, ctx.Err()
+}
+
+// Table4 renders the paper's Table IV: the application inputs, at both the
+// paper's values and this repo's scaled test values.
+func Table4(ctx context.Context, opt Options) (Result, error) {
+	tbl := report.Table{
+		Title:   "Application inputs (paper values / scaled test values)",
+		Columns: []string{"Application", "Input option", "Paper", "Test"},
+	}
+	ps := workload.PaperSTREAMInputs()
+	ts := workload.TestSTREAMInputs()
+	tbl.AddRow("STREAM", "Stream Array Size", fmt.Sprint(ps.ArraySize), fmt.Sprint(ts.ArraySize))
+	tbl.AddRow("", "Kernel passes", fmt.Sprint(ps.Times), fmt.Sprint(ts.Times))
+	pb := workload.PaperMiniBUDEInputs()
+	tb := workload.TestMiniBUDEInputs()
+	tbl.AddRow("miniBUDE", "Atoms", fmt.Sprint(pb.Atoms), fmt.Sprint(tb.Atoms))
+	tbl.AddRow("", "Poses", fmt.Sprint(pb.Poses), fmt.Sprint(tb.Poses))
+	tbl.AddRow("", "Iterations", fmt.Sprint(pb.Iterations), fmt.Sprint(tb.Iterations))
+	tbl.AddRow("", "Kernel repeats", fmt.Sprint(pb.Repeats), fmt.Sprint(tb.Repeats))
+	pt := workload.PaperTeaLeafInputs()
+	tt := workload.TestTeaLeafInputs()
+	tbl.AddRow("TeaLeaf", "Cells X,Y", fmt.Sprintf("%d,%d", pt.NX, pt.NY), fmt.Sprintf("%d,%d", tt.NX, tt.NY))
+	tbl.AddRow("", "End Step", fmt.Sprint(pt.Steps), fmt.Sprint(tt.Steps))
+	tbl.AddRow("", "CG iterations/step", fmt.Sprint(pt.CGIters), fmt.Sprint(tt.CGIters))
+	tbl.AddRow("", "Initial timestep", fmt.Sprint(pt.Dt), fmt.Sprint(tt.Dt))
+	pm := workload.PaperMiniSweepInputs()
+	tm := workload.TestMiniSweepInputs()
+	tbl.AddRow("MiniSweep", "Gridcells X,Y,Z", fmt.Sprintf("%d,%d,%d", pm.NX, pm.NY, pm.NZ), fmt.Sprintf("%d,%d,%d", tm.NX, tm.NY, tm.NZ))
+	tbl.AddRow("", "Angles per octant", fmt.Sprint(pm.Angles), fmt.Sprint(tm.Angles))
+	tbl.AddRow("", "Energy groups", fmt.Sprint(pm.Groups), fmt.Sprint(tm.Groups))
+	tbl.AddRow("", "Sweep iterations", fmt.Sprint(pm.Sweeps), fmt.Sprint(tm.Sweeps))
+	return Result{
+		ID:     "table4",
+		Title:  "Parameters set for each application across all configurations",
+		Tables: []report.Table{tbl},
+		Notes: []string{
+			"All applications single-threaded (the paper's single-core OpenMP backend), validated functionally before data collection.",
+		},
+	}, ctx.Err()
+}

@@ -1,0 +1,6 @@
+package experiments
+
+import "runtime"
+
+// gomaxprocs returns the process's effective parallelism.
+func gomaxprocs() int { return runtime.GOMAXPROCS(0) }

@@ -1,0 +1,112 @@
+package isa
+
+import "fmt"
+
+// Group classifies an instruction by the execution resource it needs. The
+// paper fixes the execution back-end (ports, latencies) and varies only the
+// front-end and memory parameters, so the group taxonomy here mirrors the
+// port capabilities described in §V-A: load/store, NEON/SVE, predicate, and
+// mixed integer/floating-point/branch.
+type Group uint8
+
+const (
+	// IntALU is simple integer arithmetic/logic (ADD, SUB, AND, CMP...).
+	IntALU Group = iota
+	// IntMul is integer multiply.
+	IntMul
+	// IntDiv is integer divide (unpipelined).
+	IntDiv
+	// FPAdd is scalar floating-point add/compare/convert.
+	FPAdd
+	// FPMul is scalar floating-point multiply.
+	FPMul
+	// FPFMA is scalar fused multiply-add.
+	FPFMA
+	// FPDiv is scalar floating-point divide/sqrt (unpipelined).
+	FPDiv
+	// SVEAdd is SVE/NEON vector add/logic/compare.
+	SVEAdd
+	// SVEMul is SVE/NEON vector multiply.
+	SVEMul
+	// SVEFMA is SVE/NEON vector fused multiply-add.
+	SVEFMA
+	// SVEDiv is SVE/NEON vector divide/sqrt (unpipelined).
+	SVEDiv
+	// PredOp is an SVE predicate-generating operation (PTRUE, WHILELO...).
+	PredOp
+	// Load is any memory load (scalar or vector; Inst.SVE distinguishes).
+	Load
+	// Store is any memory store (scalar or vector).
+	Store
+	// Branch is a conditional or unconditional branch.
+	Branch
+
+	// NumGroups is the number of execution groups.
+	NumGroups = 15
+)
+
+var groupNames = [NumGroups]string{
+	"INT_ALU", "INT_MUL", "INT_DIV",
+	"FP_ADD", "FP_MUL", "FP_FMA", "FP_DIV",
+	"SVE_ADD", "SVE_MUL", "SVE_FMA", "SVE_DIV",
+	"PRED", "LOAD", "STORE", "BRANCH",
+}
+
+// String returns the group mnemonic.
+func (g Group) String() string {
+	if int(g) < len(groupNames) {
+		return groupNames[g]
+	}
+	return fmt.Sprintf("Group(%d)", uint8(g))
+}
+
+// IsMem reports whether the group accesses memory.
+func (g Group) IsMem() bool { return g == Load || g == Store }
+
+// IsVector reports whether the group executes on the vector (NEON/SVE) ports.
+func (g Group) IsVector() bool { return g >= SVEAdd && g <= SVEDiv }
+
+// Latency returns the fixed execution latency in core cycles for the group.
+// Memory groups return the address-generation latency only; the memory
+// hierarchy adds access time. These are fixed across the whole study (§V-A:
+// "instruction execution latency [is] fixed to limit the scope").
+func (g Group) Latency() int {
+	switch g {
+	case IntALU:
+		return 1
+	case IntMul:
+		return 3
+	case IntDiv:
+		return 18
+	case FPAdd:
+		return 2
+	case FPMul:
+		return 3
+	case FPFMA:
+		return 4
+	case FPDiv:
+		return 16
+	case SVEAdd:
+		return 2
+	case SVEMul:
+		return 4
+	case SVEFMA:
+		return 4
+	case SVEDiv:
+		return 20
+	case PredOp:
+		return 1
+	case Load, Store:
+		return 1 // address generation
+	case Branch:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// Pipelined reports whether a port can accept a new instruction of this group
+// every cycle. Divides occupy their port for the full latency.
+func (g Group) Pipelined() bool {
+	return g != IntDiv && g != FPDiv && g != SVEDiv
+}

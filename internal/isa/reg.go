@@ -1,0 +1,92 @@
+// Package isa defines the simplified Armv8.4-a+SVE-like instruction set used
+// by the workload generators and the core model. It captures exactly the
+// properties the paper's study depends on: register classes for renaming
+// (general-purpose, floating-point/SVE, predicate, condition), execution
+// groups that map onto the fixed port layout, and memory/branch metadata.
+//
+// Instructions are four bytes (fixed-width Arm encoding), so fetch-block and
+// loop-buffer sizing interact with instruction counts exactly as on hardware.
+package isa
+
+import "fmt"
+
+// RegClass identifies one of the four architectural register files that the
+// rename stage maps onto physical register files. The paper's Table II varies
+// the physical count of each class independently.
+type RegClass uint8
+
+const (
+	// GP is the general-purpose (X/W) integer register class.
+	GP RegClass = iota
+	// FP is the floating-point/SVE (V/Z) register class. Scalar FP and SVE
+	// vector registers share a file, as on real SVE implementations where
+	// Z registers extend V registers.
+	FP
+	// Pred is the SVE predicate (P) register class.
+	Pred
+	// Cond is the condition/flags (NZCV) register class.
+	Cond
+
+	// NumRegClasses is the number of distinct register classes.
+	NumRegClasses = 4
+)
+
+// String returns the conventional short name of the register class.
+func (c RegClass) String() string {
+	switch c {
+	case GP:
+		return "GP"
+	case FP:
+		return "FP"
+	case Pred:
+		return "PRED"
+	case Cond:
+		return "COND"
+	default:
+		return fmt.Sprintf("RegClass(%d)", uint8(c))
+	}
+}
+
+// ArchRegs returns the architectural register count of the class in the
+// modelled ISA. Renaming requires at least this many physical registers plus
+// headroom; the parameter space lower bounds in Table II sit just above these
+// (e.g. 38 for GP vs 32+SP architectural names).
+func (c RegClass) ArchRegs() int {
+	switch c {
+	case GP:
+		return 32 // X0-X30 + SP
+	case FP:
+		return 32 // Z0-Z31 (V registers alias the low bits)
+	case Pred:
+		return 16 // P0-P15
+	case Cond:
+		return 1 // NZCV
+	default:
+		return 0
+	}
+}
+
+// Reg names one architectural register: a class and an index within it.
+type Reg struct {
+	Class RegClass
+	ID    uint16
+}
+
+// R builds a register operand.
+func R(class RegClass, id int) Reg { return Reg{Class: class, ID: uint16(id)} }
+
+// String renders the register in Arm-like syntax (X3, Z7, P1, NZCV).
+func (r Reg) String() string {
+	switch r.Class {
+	case GP:
+		return fmt.Sprintf("X%d", r.ID)
+	case FP:
+		return fmt.Sprintf("Z%d", r.ID)
+	case Pred:
+		return fmt.Sprintf("P%d", r.ID)
+	case Cond:
+		return "NZCV"
+	default:
+		return fmt.Sprintf("R?%d", r.ID)
+	}
+}

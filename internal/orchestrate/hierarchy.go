@@ -1,0 +1,11 @@
+package orchestrate
+
+import (
+	"armdse/internal/params"
+	"armdse/internal/sstmem"
+)
+
+// newHierarchy builds the memory backend for a design-space point.
+func newHierarchy(cfg params.Config) (*sstmem.Hierarchy, error) {
+	return sstmem.New(cfg.Mem)
+}

@@ -1,0 +1,224 @@
+// Package orchestrate runs the study's data-collection pipeline: sample
+// configurations from the design space, simulate every application on each,
+// and collect the cycle counts into a dataset — the Go equivalent of the
+// artifact's run_xci.sh / config_generator.py / collect_data.py workflow,
+// fanned out over local cores instead of Isambard 2 nodes.
+package orchestrate
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"armdse/internal/dataset"
+	"armdse/internal/params"
+	"armdse/internal/simeng"
+	"armdse/internal/workload"
+)
+
+// Options configure a collection run.
+type Options struct {
+	// Seed drives configuration sampling; identical seeds with identical
+	// options produce identical datasets.
+	Seed int64
+	// Samples is the number of configurations to draw.
+	Samples int
+	// Workers bounds the worker pool; 0 uses GOMAXPROCS.
+	Workers int
+	// Suite is the workload set; nil uses workload.TestSuite().
+	Suite []workload.Workload
+	// MaxCyclesPerRun aborts pathological runs; 0 uses the engine default.
+	MaxCyclesPerRun int64
+	// Validate runs each workload's functional validation before
+	// collecting, mirroring the paper's rule that only validated runs
+	// enter the dataset.
+	Validate bool
+	// Progress, when non-nil, receives (completedConfigs, totalConfigs)
+	// after each configuration finishes.
+	Progress func(done, total int)
+}
+
+// Result is a collection outcome.
+type Result struct {
+	// Data is the collected dataset, one row per successful config.
+	Data *dataset.Dataset
+	// Failed counts configurations dropped because a run errored.
+	Failed int
+}
+
+// programCache shares built programs between workers: the instruction stream
+// depends only on (application, vector length), so at most 5 programs exist
+// per app. Programs are immutable after construction; streams are per-run.
+type programCache struct {
+	mu    sync.Mutex
+	progs map[string]map[int]*workload.Program
+}
+
+func newProgramCache() *programCache {
+	return &programCache{progs: make(map[string]map[int]*workload.Program)}
+}
+
+func (pc *programCache) get(w workload.Workload, vl int) (*workload.Program, error) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	byVL, ok := pc.progs[w.Name()]
+	if !ok {
+		byVL = make(map[int]*workload.Program)
+		pc.progs[w.Name()] = byVL
+	}
+	if p, ok := byVL[vl]; ok {
+		return p, nil
+	}
+	p, err := w.Program(vl)
+	if err != nil {
+		return nil, err
+	}
+	byVL[vl] = p
+	return p, nil
+}
+
+// RunOne simulates a single (configuration, workload) pair.
+func RunOne(cfg params.Config, w workload.Workload) (simeng.Stats, error) {
+	p, err := w.Program(cfg.Core.VectorLength)
+	if err != nil {
+		return simeng.Stats{}, fmt.Errorf("orchestrate: %s: %w", w.Name(), err)
+	}
+	return simeng.Simulate(cfg.Core, cfg.Mem, p.Stream())
+}
+
+// Collect runs the full pipeline and returns the dataset. Configurations
+// whose simulation fails are dropped (and counted), matching the paper's
+// validation gate; the error return is reserved for setup problems and
+// context cancellation.
+func Collect(ctx context.Context, opt Options) (Result, error) {
+	if opt.Samples <= 0 {
+		return Result{}, fmt.Errorf("orchestrate: samples %d <= 0", opt.Samples)
+	}
+	suite := opt.Suite
+	if suite == nil {
+		suite = workload.TestSuite()
+	}
+	if len(suite) == 0 {
+		return Result{}, fmt.Errorf("orchestrate: empty workload suite")
+	}
+	if opt.Validate {
+		for _, w := range suite {
+			if err := w.Validate(); err != nil {
+				return Result{}, fmt.Errorf("orchestrate: %s failed validation: %w", w.Name(), err)
+			}
+		}
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxCycles := opt.MaxCyclesPerRun
+	if maxCycles <= 0 {
+		maxCycles = simeng.DefaultMaxCycles
+	}
+
+	configs := params.SampleN(opt.Seed, opt.Samples)
+	cache := newProgramCache()
+
+	type rowResult struct {
+		targets map[string]float64
+		err     error
+	}
+	rows := make([]rowResult, opt.Samples)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var done int
+	var doneMu sync.Mutex
+
+	runCfg := func(i int) rowResult {
+		cfg := configs[i]
+		targets := make(map[string]float64, len(suite))
+		for _, w := range suite {
+			prog, err := cache.get(w, cfg.Core.VectorLength)
+			if err != nil {
+				return rowResult{err: err}
+			}
+			st, err := simulateLimited(cfg, prog, maxCycles)
+			if err != nil {
+				return rowResult{err: fmt.Errorf("%s: %w", w.Name(), err)}
+			}
+			targets[w.Name()] = float64(st.Cycles)
+		}
+		return rowResult{targets: targets}
+	}
+
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rows[i] = runCfg(i)
+				if opt.Progress != nil {
+					doneMu.Lock()
+					done++
+					d := done
+					doneMu.Unlock()
+					opt.Progress(d, opt.Samples)
+				}
+			}
+		}()
+	}
+
+	var ctxErr error
+feed:
+	for i := 0; i < opt.Samples; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if ctxErr != nil {
+		return Result{}, ctxErr
+	}
+
+	appNames := make([]string, len(suite))
+	for i, w := range suite {
+		appNames[i] = w.Name()
+	}
+	data := dataset.New(params.FeatureNames(), appNames)
+	failed := 0
+	for i, rr := range rows {
+		if rr.err != nil || rr.targets == nil {
+			failed++
+			continue
+		}
+		if err := data.Append(configs[i].Features(), rr.targets); err != nil {
+			return Result{}, err
+		}
+	}
+	if data.Len() == 0 {
+		first := ""
+		for _, rr := range rows {
+			if rr.err != nil {
+				first = rr.err.Error()
+				break
+			}
+		}
+		return Result{}, fmt.Errorf("orchestrate: every configuration failed (first error: %s)", first)
+	}
+	return Result{Data: data, Failed: failed}, nil
+}
+
+// simulateLimited builds a fresh core/hierarchy and runs prog's stream under
+// the cycle budget.
+func simulateLimited(cfg params.Config, prog *workload.Program, maxCycles int64) (simeng.Stats, error) {
+	h, err := newHierarchy(cfg)
+	if err != nil {
+		return simeng.Stats{}, err
+	}
+	c, err := simeng.New(cfg.Core, h)
+	if err != nil {
+		return simeng.Stats{}, err
+	}
+	return c.RunLimit(prog.Stream(), maxCycles)
+}

@@ -1,0 +1,222 @@
+// Package params defines the study's design space: the 18 core parameters of
+// Table II and the 12 memory parameters of Table III (reconstructed from the
+// paper's prose — the table itself is an image in the source; DESIGN.md
+// records the reconstruction), together giving the 30 input features of the
+// surrogate model. It provides constrained uniform sampling exactly as §V-A
+// describes: all parameters independent except Load/Store bandwidth (at
+// least one full vector) and L2 size/latency (strictly above L1).
+package params
+
+import (
+	"fmt"
+
+	"armdse/internal/simeng"
+	"armdse/internal/sstmem"
+)
+
+// Config couples a core configuration with its memory backend — one point in
+// the design space.
+type Config struct {
+	Core simeng.Config
+	Mem  sstmem.Config
+}
+
+// Validate checks both halves and the cross-parameter constraints.
+func (c Config) Validate() error {
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	if err := c.Mem.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// NumFeatures is the input dimensionality of the surrogate model.
+const NumFeatures = 30
+
+// Feature indices, in canonical order.
+const (
+	FVectorLength = iota
+	FFetchBlockSize
+	FLoopBufferSize
+	FGPRegisters
+	FFPSVERegisters
+	FPredRegisters
+	FCondRegisters
+	FCommitWidth
+	FFrontendWidth
+	FLSQCompletionWidth
+	FROBSize
+	FLoadQueueSize
+	FStoreQueueSize
+	FLoadBandwidth
+	FStoreBandwidth
+	FMemRequestsPerCycle
+	FMemLoadsPerCycle
+	FMemStoresPerCycle
+	FCacheLineWidth
+	FL1DSize
+	FL1DAssoc
+	FL1DLatency
+	FL1DClockGHz
+	FL1DMSHRs
+	FL2Size
+	FL2Assoc
+	FL2Latency
+	FL2ClockGHz
+	FRAMLatencyNs
+	FRAMBandwidthGBs
+)
+
+// featureNames are the canonical column names, matching the paper's figures
+// where they appear there.
+var featureNames = [NumFeatures]string{
+	"Vector-Length",
+	"Fetch-Block-Size",
+	"Loop-Buffer-Size",
+	"GP-Registers",
+	"FP-SVE-Registers",
+	"Predicate-Registers",
+	"Conditional-Registers",
+	"Commit-Width",
+	"Frontend-Width",
+	"LSQ-Completion-Width",
+	"ROB-Size",
+	"Load-Queue-Size",
+	"Store-Queue-Size",
+	"Load-Bandwidth",
+	"Store-Bandwidth",
+	"Mem-Requests-Per-Cycle",
+	"Mem-Loads-Per-Cycle",
+	"Mem-Stores-Per-Cycle",
+	"Cache-Line-Width",
+	"L1-Size",
+	"L1-Assoc",
+	"L1-Latency",
+	"L1-Clock",
+	"L1-MSHRs",
+	"L2-Size",
+	"L2-Assoc",
+	"L2-Latency",
+	"L2-Clock",
+	"RAM-Latency",
+	"RAM-Bandwidth",
+}
+
+// FeatureNames returns the canonical 30 feature column names.
+func FeatureNames() []string {
+	out := make([]string, NumFeatures)
+	copy(out[:], featureNames[:])
+	return out
+}
+
+// FeatureIndex returns the index of the named feature, or -1.
+func FeatureIndex(name string) int {
+	for i, n := range featureNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Features flattens the configuration into the canonical 30-vector.
+func (c Config) Features() []float64 {
+	f := make([]float64, NumFeatures)
+	f[FVectorLength] = float64(c.Core.VectorLength)
+	f[FFetchBlockSize] = float64(c.Core.FetchBlockSize)
+	f[FLoopBufferSize] = float64(c.Core.LoopBufferSize)
+	f[FGPRegisters] = float64(c.Core.GPRegisters)
+	f[FFPSVERegisters] = float64(c.Core.FPSVERegisters)
+	f[FPredRegisters] = float64(c.Core.PredRegisters)
+	f[FCondRegisters] = float64(c.Core.CondRegisters)
+	f[FCommitWidth] = float64(c.Core.CommitWidth)
+	f[FFrontendWidth] = float64(c.Core.FrontendWidth)
+	f[FLSQCompletionWidth] = float64(c.Core.LSQCompletionWidth)
+	f[FROBSize] = float64(c.Core.ROBSize)
+	f[FLoadQueueSize] = float64(c.Core.LoadQueueSize)
+	f[FStoreQueueSize] = float64(c.Core.StoreQueueSize)
+	f[FLoadBandwidth] = float64(c.Core.LoadBandwidth)
+	f[FStoreBandwidth] = float64(c.Core.StoreBandwidth)
+	f[FMemRequestsPerCycle] = float64(c.Core.MemRequestsPerCycle)
+	f[FMemLoadsPerCycle] = float64(c.Core.MemLoadsPerCycle)
+	f[FMemStoresPerCycle] = float64(c.Core.MemStoresPerCycle)
+	f[FCacheLineWidth] = float64(c.Mem.CacheLineWidth)
+	f[FL1DSize] = float64(c.Mem.L1DSize)
+	f[FL1DAssoc] = float64(c.Mem.L1DAssoc)
+	f[FL1DLatency] = float64(c.Mem.L1DLatency)
+	f[FL1DClockGHz] = c.Mem.L1DClockGHz
+	f[FL1DMSHRs] = float64(c.Mem.L1DMSHRs)
+	f[FL2Size] = float64(c.Mem.L2Size)
+	f[FL2Assoc] = float64(c.Mem.L2Assoc)
+	f[FL2Latency] = float64(c.Mem.L2Latency)
+	f[FL2ClockGHz] = c.Mem.L2ClockGHz
+	f[FRAMLatencyNs] = c.Mem.RAMLatencyNs
+	f[FRAMBandwidthGBs] = c.Mem.RAMBandwidthGBs
+	return f
+}
+
+// FromFeatures reconstructs a configuration from a canonical 30-vector.
+func FromFeatures(f []float64) (Config, error) {
+	if len(f) != NumFeatures {
+		return Config{}, fmt.Errorf("params: feature vector has %d entries, want %d", len(f), NumFeatures)
+	}
+	var c Config
+	c.Core.VectorLength = int(f[FVectorLength])
+	c.Core.FetchBlockSize = int(f[FFetchBlockSize])
+	c.Core.LoopBufferSize = int(f[FLoopBufferSize])
+	c.Core.GPRegisters = int(f[FGPRegisters])
+	c.Core.FPSVERegisters = int(f[FFPSVERegisters])
+	c.Core.PredRegisters = int(f[FPredRegisters])
+	c.Core.CondRegisters = int(f[FCondRegisters])
+	c.Core.CommitWidth = int(f[FCommitWidth])
+	c.Core.FrontendWidth = int(f[FFrontendWidth])
+	c.Core.LSQCompletionWidth = int(f[FLSQCompletionWidth])
+	c.Core.ROBSize = int(f[FROBSize])
+	c.Core.LoadQueueSize = int(f[FLoadQueueSize])
+	c.Core.StoreQueueSize = int(f[FStoreQueueSize])
+	c.Core.LoadBandwidth = int(f[FLoadBandwidth])
+	c.Core.StoreBandwidth = int(f[FStoreBandwidth])
+	c.Core.MemRequestsPerCycle = int(f[FMemRequestsPerCycle])
+	c.Core.MemLoadsPerCycle = int(f[FMemLoadsPerCycle])
+	c.Core.MemStoresPerCycle = int(f[FMemStoresPerCycle])
+	c.Mem.CacheLineWidth = int(f[FCacheLineWidth])
+	c.Mem.L1DSize = int(f[FL1DSize])
+	c.Mem.L1DAssoc = int(f[FL1DAssoc])
+	c.Mem.L1DLatency = int(f[FL1DLatency])
+	c.Mem.L1DClockGHz = f[FL1DClockGHz]
+	c.Mem.L1DMSHRs = int(f[FL1DMSHRs])
+	c.Mem.L2Size = int(f[FL2Size])
+	c.Mem.L2Assoc = int(f[FL2Assoc])
+	c.Mem.L2Latency = int(f[FL2Latency])
+	c.Mem.L2ClockGHz = f[FL2ClockGHz]
+	c.Mem.RAMLatencyNs = f[FRAMLatencyNs]
+	c.Mem.RAMBandwidthGBs = f[FRAMBandwidthGBs]
+	c.Mem.CoreClockGHz = sstmem.DefaultCoreClockGHz
+	return c, nil
+}
+
+// ThunderX2 returns the fixed baseline design-space point: the SimEng-style
+// Marvell ThunderX2 core with the published cache/memory figures used in the
+// paper's Table I validation.
+func ThunderX2() Config {
+	return Config{
+		Core: simeng.ThunderX2(),
+		Mem: sstmem.Config{
+			CacheLineWidth:  64,
+			L1DSize:         32 << 10,
+			L1DAssoc:        8,
+			L1DLatency:      5,
+			L1DClockGHz:     2.5,
+			L1DMSHRs:        8,
+			L2Size:          256 << 10,
+			L2Assoc:         8,
+			L2Latency:       22,
+			L2ClockGHz:      2.5,
+			RAMLatencyNs:    110,
+			RAMBandwidthGBs: 16,
+			CoreClockGHz:    sstmem.DefaultCoreClockGHz,
+		},
+	}
+}

@@ -1,0 +1,165 @@
+// Package simeng is the cycle-approximate out-of-order superscalar core
+// model of the study — the stand-in for the University of Bristol SimEng
+// simulator. It implements exactly the knobs of the paper's Table II: the
+// front-end (fetch block, loop buffer, frontend width), the rename register
+// files of all four classes, the reorder buffer and load/store queues, the
+// commit and LSQ-completion widths, and the per-cycle memory-operation and
+// bandwidth limits; the execution back-end (ports, reservation station,
+// latencies) is fixed per §V-A. Memory accesses go to an sstmem.Hierarchy.
+//
+// The trace is pre-resolved (execution-driven with known outcomes), so there
+// is no branch misprediction modelling; taken branches still break fetch
+// blocks and redirect fetch, which the loop buffer removes for tight loops.
+// Memory aliasing is perfectly disambiguated (no false LSQ ordering stalls),
+// as DESIGN.md documents.
+package simeng
+
+import (
+	"fmt"
+
+	"armdse/internal/isa"
+)
+
+// Config is the Table II core parameter set.
+type Config struct {
+	// VectorLength is the SVE vector length in bits.
+	VectorLength int
+	// FetchBlockSize is the aligned block fetched per cycle, in bytes.
+	FetchBlockSize int
+	// LoopBufferSize is the loop buffer capacity in instructions.
+	LoopBufferSize int
+	// GPRegisters .. CondRegisters are physical register file sizes.
+	GPRegisters    int
+	FPSVERegisters int
+	PredRegisters  int
+	CondRegisters  int
+	// CommitWidth is the maximum instructions committed per cycle.
+	CommitWidth int
+	// FrontendWidth is the fetch/decode/rename pipeline width.
+	FrontendWidth int
+	// LSQCompletionWidth is the maximum memory operations completed
+	// (load writebacks plus store writes) per cycle.
+	LSQCompletionWidth int
+	// ROBSize is the reorder buffer capacity.
+	ROBSize int
+	// LoadQueueSize and StoreQueueSize bound in-flight loads/stores.
+	LoadQueueSize  int
+	StoreQueueSize int
+	// LoadBandwidth and StoreBandwidth are bytes movable per cycle
+	// between the core and L1.
+	LoadBandwidth  int
+	StoreBandwidth int
+	// MemRequestsPerCycle bounds total memory requests issued per cycle;
+	// MemLoadsPerCycle and MemStoresPerCycle bound each kind.
+	MemRequestsPerCycle int
+	MemLoadsPerCycle    int
+	MemStoresPerCycle   int
+
+	// Ports optionally overrides the execution-port layout. The study
+	// fixes the back end (§V-A) and this field is nil everywhere in the
+	// reproduction proper; it implements the paper's stated future work
+	// of "experiment[ing] with the design of the execution units" (see
+	// the extport extension experiment). Nil selects isa.PaperPorts.
+	Ports []isa.Port
+}
+
+// EffectivePorts returns the execution-port layout the core will use.
+func (c Config) EffectivePorts() []isa.Port {
+	if c.Ports != nil {
+		return c.Ports
+	}
+	return isa.PaperPorts()
+}
+
+// Validate checks structural sanity and the paper's sampling constraints
+// (bandwidths at least one full vector).
+func (c Config) Validate() error {
+	if c.VectorLength < 128 || c.VectorLength > 2048 || c.VectorLength&(c.VectorLength-1) != 0 {
+		return fmt.Errorf("simeng: vector length %d not a power of two in [128, 2048]", c.VectorLength)
+	}
+	if c.FetchBlockSize < isa.InstBytes || c.FetchBlockSize&(c.FetchBlockSize-1) != 0 {
+		return fmt.Errorf("simeng: fetch block size %d not a power of two >= %d", c.FetchBlockSize, isa.InstBytes)
+	}
+	if c.LoopBufferSize < 0 {
+		return fmt.Errorf("simeng: loop buffer size %d < 0", c.LoopBufferSize)
+	}
+	type rf struct {
+		name  string
+		phys  int
+		class isa.RegClass
+	}
+	for _, f := range []rf{
+		{"GP", c.GPRegisters, isa.GP},
+		{"FP/SVE", c.FPSVERegisters, isa.FP},
+		{"predicate", c.PredRegisters, isa.Pred},
+		{"condition", c.CondRegisters, isa.Cond},
+	} {
+		if f.phys <= f.class.ArchRegs() {
+			return fmt.Errorf("simeng: %s physical registers %d must exceed the %d architectural registers",
+				f.name, f.phys, f.class.ArchRegs())
+		}
+	}
+	if c.CommitWidth < 1 || c.FrontendWidth < 1 || c.LSQCompletionWidth < 1 {
+		return fmt.Errorf("simeng: pipeline widths must be >= 1 (commit %d, frontend %d, lsq %d)",
+			c.CommitWidth, c.FrontendWidth, c.LSQCompletionWidth)
+	}
+	if c.ROBSize < 4 {
+		return fmt.Errorf("simeng: ROB size %d < 4", c.ROBSize)
+	}
+	if c.LoadQueueSize < 1 || c.StoreQueueSize < 1 {
+		return fmt.Errorf("simeng: load/store queue sizes must be >= 1 (%d/%d)", c.LoadQueueSize, c.StoreQueueSize)
+	}
+	if c.LoadBandwidth < c.VectorLength/8 {
+		return fmt.Errorf("simeng: load bandwidth %d B/cycle below one vector (%d B)", c.LoadBandwidth, c.VectorLength/8)
+	}
+	if c.StoreBandwidth < c.VectorLength/8 {
+		return fmt.Errorf("simeng: store bandwidth %d B/cycle below one vector (%d B)", c.StoreBandwidth, c.VectorLength/8)
+	}
+	if c.MemRequestsPerCycle < 1 || c.MemLoadsPerCycle < 1 || c.MemStoresPerCycle < 1 {
+		return fmt.Errorf("simeng: per-cycle memory limits must be >= 1 (%d/%d/%d)",
+			c.MemRequestsPerCycle, c.MemLoadsPerCycle, c.MemStoresPerCycle)
+	}
+	if c.Ports != nil {
+		for g := isa.Group(0); g < isa.NumGroups; g++ {
+			ok := false
+			for _, p := range c.Ports {
+				if p.Accept.Has(g) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("simeng: custom port layout cannot execute group %v", g)
+			}
+		}
+	}
+	return nil
+}
+
+// ThunderX2 returns the fixed baseline core configuration modelling
+// Marvell's ThunderX2 (Vulcan), the paper's Table I validation platform,
+// with SVE support grafted on at the native 128-bit width as §IV-B
+// describes. Values follow the SimEng repository's TX2 model and published
+// microbenchmarks.
+func ThunderX2() Config {
+	return Config{
+		VectorLength:        128,
+		FetchBlockSize:      32,
+		LoopBufferSize:      32,
+		GPRegisters:         128,
+		FPSVERegisters:      128,
+		PredRegisters:       48,
+		CondRegisters:       128,
+		CommitWidth:         4,
+		FrontendWidth:       4,
+		LSQCompletionWidth:  2,
+		ROBSize:             180,
+		LoadQueueSize:       64,
+		StoreQueueSize:      36,
+		LoadBandwidth:       32,
+		StoreBandwidth:      16,
+		MemRequestsPerCycle: 3,
+		MemLoadsPerCycle:    2,
+		MemStoresPerCycle:   1,
+	}
+}

@@ -1,0 +1,798 @@
+package simeng
+
+import (
+	"fmt"
+	"math"
+
+	"armdse/internal/isa"
+	"armdse/internal/sstmem"
+)
+
+// doneNever marks a result time that is not yet known.
+const doneNever = math.MaxInt64
+
+// entryState tracks an in-flight instruction through the back end.
+type entryState uint8
+
+const (
+	stFree entryState = iota
+	// stInRS: dispatched, waiting in the reservation station.
+	stInRS
+	// stExec: issued; resultAt gives completion (also stores post-AGU and
+	// loads post-writeback — an entry with resultAt <= cycle is done).
+	stExec
+	// stLoadAGU: load issued on a port; line requests pending in loadReqQ.
+	stLoadAGU
+	// stLoadMem: all line requests issued; waiting for data return.
+	stLoadMem
+)
+
+// entry is one reorder-buffer slot. The window is indexed by sequence number
+// modulo the ROB size; slots recycle at commit.
+//
+// Readiness uses wakeup lists rather than per-cycle source polling: at
+// dispatch each unresolved source links a (consumer, slot) node onto its
+// producer's list; when the producer's completion time becomes known it
+// walks the list, folding the time into each consumer's earliestReady and
+// decrementing pendingSrcs. An entry is issueable when pendingSrcs is zero
+// and earliestReady has passed.
+type entry struct {
+	resultAt int64
+	memDone  int64
+	nextLine uint64 // next un-requested byte of the access
+	endAddr  uint64
+	addr     uint64
+	// earliestReady is the max known completion time of resolved sources.
+	earliestReady int64
+	// pc and dispatchedAt feed the optional commit tracer.
+	pc           uint64
+	dispatchedAt int64
+	// wakeHead is the first (consumerSeq*4+slot) node of this entry's
+	// consumer wake list, or -1.
+	wakeHead int64
+	// wakeNext are this entry's own per-source-slot list links.
+	wakeNext [4]int64
+	op       isa.Group
+	sve      bool
+	state    entryState
+	nd       uint8
+	// pendingSrcs counts sources whose producer completion is unknown.
+	pendingSrcs uint8
+	destClass   [2]uint8
+}
+
+// renamed is an instruction between rename and dispatch.
+type renamed struct {
+	srcSeq    [4]int64
+	addr      uint64
+	pc        uint64
+	bytes     uint32
+	op        isa.Group
+	sve       bool
+	nd, ns    uint8
+	destClass [2]uint8
+}
+
+// TraceEvent records the lifetime of one retired instruction; events are
+// delivered in program order at commit time.
+type TraceEvent struct {
+	// Seq is the instruction's global sequence number.
+	Seq int64
+	// PC is the instruction's byte address.
+	PC uint64
+	// Op is the execution group; SVE marks Z-register instructions.
+	Op  isa.Group
+	SVE bool
+	// Dispatched, Done and Committed are the cycles the instruction
+	// entered the window, produced its result, and retired.
+	Dispatched int64
+	Done       int64
+	Committed  int64
+}
+
+// loadReq is a load whose address generation completes at availableAt.
+type loadReq struct {
+	seq         int64
+	availableAt int64
+}
+
+// storeWrite is a committed store draining to memory.
+type storeWrite struct {
+	nextLine  uint64
+	startAddr uint64
+	endAddr   uint64
+}
+
+// portState is one execution port.
+type portState struct {
+	accept isa.GroupSet
+	freeAt int64
+}
+
+// Core is one out-of-order core wired to a memory hierarchy. A Core runs a
+// single instruction stream and is then exhausted; build a new Core (and
+// hierarchy) per run.
+type Core struct {
+	cfg       Config
+	mem       *sstmem.Hierarchy
+	lineBytes uint64
+
+	window []entry
+	cp     int64 // window capacity (== ROBSize)
+
+	seqRenamed    int64
+	seqDispatched int64
+	seqCommitted  int64
+
+	regProducer [isa.NumRegClasses][]int64
+	inFlight    [isa.NumRegClasses]int
+	physAvail   [isa.NumRegClasses]int
+
+	// rsCount is the reservation-station occupancy (dispatched, not yet
+	// issued). Ready entries are tracked event-style: when an entry's
+	// last source resolves it enters readyHeap keyed by its ready cycle,
+	// and issueStage drains due entries into readyList (sorted by age)
+	// where they wait only for ports — no per-cycle RS scan.
+	rsCount   int
+	readyHeap seqHeap
+	readyList []int64
+	ports     []portState
+
+	fetchQ      ring[isa.Inst]
+	renameQ     ring[renamed]
+	loadReqQ    ring[loadReq]
+	storeWriteQ ring[storeWrite]
+	loadHeap    seqHeap
+	events      int64Heap
+
+	lqCount, sqCount int
+
+	stream     isa.Stream
+	peek       isa.Inst
+	havePeek   bool
+	streamDone bool
+	lbActive   bool
+	lbBranchPC uint64
+	lbSeen     int
+
+	// Byte-bandwidth credits persist across cycles (capped at one cycle's
+	// allowance) so accesses wider than the per-cycle bandwidth drain
+	// over multiple cycles instead of wedging.
+	loadCredit   int64
+	storeCredit  int64
+	lastMemCycle int64
+
+	cycle    int64
+	progress bool
+	runErr   error
+	stats    Stats
+	tracer   func(TraceEvent)
+}
+
+// SetTracer installs a per-instruction commit callback. Tracing is for
+// debugging and the dsetrace tool; it slows simulation and must be set
+// before Run.
+func (c *Core) SetTracer(fn func(TraceEvent)) { c.tracer = fn }
+
+// New builds a core from cfg attached to the given memory hierarchy.
+func New(cfg Config, mem *sstmem.Hierarchy) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mem == nil {
+		return nil, fmt.Errorf("simeng: nil memory hierarchy")
+	}
+	c := &Core{
+		cfg:         cfg,
+		mem:         mem,
+		lineBytes:   uint64(mem.LineBytes()),
+		window:      make([]entry, cfg.ROBSize),
+		cp:          int64(cfg.ROBSize),
+		fetchQ:      newRing[isa.Inst](192),
+		renameQ:     newRing[renamed](16),
+		loadReqQ:    newRing[loadReq](cfg.LoadQueueSize),
+		storeWriteQ: newRing[storeWrite](cfg.StoreQueueSize),
+	}
+	for _, p := range cfg.EffectivePorts() {
+		c.ports = append(c.ports, portState{accept: p.Accept})
+	}
+	c.stats.PortIssued = make([]int64, len(c.ports))
+	for cl := 0; cl < isa.NumRegClasses; cl++ {
+		arch := isa.RegClass(cl).ArchRegs()
+		c.regProducer[cl] = make([]int64, arch)
+		for i := range c.regProducer[cl] {
+			c.regProducer[cl][i] = -1
+		}
+	}
+	c.physAvail[isa.GP] = cfg.GPRegisters - isa.GP.ArchRegs()
+	c.physAvail[isa.FP] = cfg.FPSVERegisters - isa.FP.ArchRegs()
+	c.physAvail[isa.Pred] = cfg.PredRegisters - isa.Pred.ArchRegs()
+	c.physAvail[isa.Cond] = cfg.CondRegisters - isa.Cond.ArchRegs()
+	return c, nil
+}
+
+// Simulate runs stream on a fresh core/hierarchy pair and returns the run
+// statistics. It is the package's primary entry point.
+func Simulate(core Config, mem sstmem.Config, stream isa.Stream) (Stats, error) {
+	h, err := sstmem.New(mem)
+	if err != nil {
+		return Stats{}, err
+	}
+	c, err := New(core, h)
+	if err != nil {
+		return Stats{}, err
+	}
+	return c.Run(stream)
+}
+
+// DefaultMaxCycles bounds a run against livelock; it is far beyond any
+// plausible real execution of the study's workloads.
+const DefaultMaxCycles = int64(1) << 40
+
+// Run executes the stream to completion and returns the statistics.
+func (c *Core) Run(stream isa.Stream) (Stats, error) {
+	return c.RunLimit(stream, DefaultMaxCycles)
+}
+
+// RunLimit is Run with an explicit cycle budget.
+func (c *Core) RunLimit(stream isa.Stream, maxCycles int64) (Stats, error) {
+	if c.stream != nil {
+		return Stats{}, fmt.Errorf("simeng: core already used; build a new one per run")
+	}
+	c.stream = stream
+	for {
+		c.progress = false
+		c.drainStaleEvents()
+		c.commitStage()
+		c.memoryStage()
+		c.issueStage()
+		c.dispatchStage()
+		c.renameStage()
+		c.fetchStage()
+		if c.runErr != nil {
+			return c.stats, c.runErr
+		}
+		if c.finished() {
+			break
+		}
+		occ := c.seqDispatched - c.seqCommitted
+		prevCycle := c.cycle
+		if c.progress {
+			c.cycle++
+		} else {
+			if c.events.Len() == 0 {
+				return c.stats, fmt.Errorf("simeng: deadlock at cycle %d (%d retired, %d in flight)",
+					c.cycle, c.stats.Retired, c.seqDispatched-c.seqCommitted)
+			}
+			next := c.events.Pop()
+			if next <= c.cycle {
+				// drainStaleEvents should prevent this.
+				next = c.cycle + 1
+			}
+			c.cycle = next
+		}
+		elapsed := c.cycle - prevCycle
+		c.stats.ROBOccupancy += occ * elapsed
+		c.stats.RSOccupancy += int64(c.rsCount) * elapsed
+		if c.cycle > maxCycles {
+			return c.stats, fmt.Errorf("simeng: exceeded cycle limit %d with %d retired", maxCycles, c.stats.Retired)
+		}
+	}
+	c.stats.Cycles = c.cycle + 1
+	c.stats.Mem = c.mem.Stats()
+	return c.stats, nil
+}
+
+// finished reports whether all work has drained.
+func (c *Core) finished() bool {
+	return c.streamDone && !c.havePeek &&
+		c.fetchQ.Empty() && c.renameQ.Empty() &&
+		c.seqCommitted == c.seqRenamed &&
+		c.storeWriteQ.Empty()
+}
+
+// drainStaleEvents discards event timestamps at or before the current cycle,
+// keeping the heap bounded by genuinely future events.
+func (c *Core) drainStaleEvents() {
+	for c.events.Len() > 0 && c.events.Min() <= c.cycle {
+		c.events.Pop()
+	}
+}
+
+// fail aborts the run with a structural error (generator bug).
+func (c *Core) fail(format string, args ...any) {
+	if c.runErr == nil {
+		c.runErr = fmt.Errorf(format, args...)
+	}
+}
+
+// ---------------------------------------------------------------- commit --
+
+func (c *Core) commitStage() {
+	for n := 0; n < c.cfg.CommitWidth && c.seqCommitted < c.seqDispatched; n++ {
+		e := &c.window[c.seqCommitted%c.cp]
+		if e.state != stExec || e.resultAt > c.cycle {
+			return
+		}
+		if c.tracer != nil {
+			c.tracer(TraceEvent{
+				Seq:        c.seqCommitted,
+				PC:         e.pc,
+				Op:         e.op,
+				SVE:        e.sve,
+				Dispatched: e.dispatchedAt,
+				Done:       e.resultAt,
+				Committed:  c.cycle,
+			})
+		}
+		c.stats.Retired++
+		if e.sve {
+			c.stats.SVERetired++
+		}
+		switch e.op {
+		case isa.Load:
+			c.stats.Loads++
+			c.lqCount--
+		case isa.Store:
+			c.stats.Stores++
+			// The write drains post-commit; the SQ entry is held until
+			// its line requests have issued.
+			c.storeWriteQ.Push(storeWrite{nextLine: e.addr, startAddr: e.addr, endAddr: e.endAddr})
+		case isa.Branch:
+			c.stats.Branches++
+		}
+		for i := 0; i < int(e.nd); i++ {
+			c.inFlight[e.destClass[i]]--
+		}
+		e.state = stFree
+		c.seqCommitted++
+		c.progress = true
+	}
+}
+
+// ---------------------------------------------------------------- memory --
+
+func (c *Core) memoryStage() {
+	completions := c.cfg.LSQCompletionWidth
+	requests := c.cfg.MemRequestsPerCycle
+	loadOps := c.cfg.MemLoadsPerCycle
+	storeOps := c.cfg.MemStoresPerCycle
+
+	// Replenish bandwidth credits for the cycles elapsed since the last
+	// visit, capped at one cycle's allowance.
+	delta := c.cycle - c.lastMemCycle
+	if delta < 1 {
+		delta = 1
+	}
+	c.lastMemCycle = c.cycle
+	c.loadCredit += delta * int64(c.cfg.LoadBandwidth)
+	if c.loadCredit > int64(c.cfg.LoadBandwidth) {
+		c.loadCredit = int64(c.cfg.LoadBandwidth)
+	}
+	c.storeCredit += delta * int64(c.cfg.StoreBandwidth)
+	if c.storeCredit > int64(c.cfg.StoreBandwidth) {
+		c.storeCredit = int64(c.cfg.StoreBandwidth)
+	}
+
+	// Load writebacks: data that has returned claims LSQ completion slots.
+	for completions > 0 && c.loadHeap.Len() > 0 && c.loadHeap.Min().at <= c.cycle {
+		ev := c.loadHeap.Pop()
+		e := &c.window[ev.seq%c.cp]
+		e.resultAt = c.cycle
+		e.state = stExec
+		c.resolveWaiters(e, c.cycle)
+		completions--
+		c.progress = true
+	}
+
+	// Load line requests: head-of-queue loads split into per-line requests
+	// under the request/kind/byte budgets.
+	for !c.loadReqQ.Empty() {
+		lr := c.loadReqQ.Peek()
+		if lr.availableAt > c.cycle {
+			break
+		}
+		e := &c.window[lr.seq%c.cp]
+		blocked := false
+		for e.nextLine < e.endAddr {
+			lineStart := e.nextLine &^ (c.lineBytes - 1)
+			portion := int64(minU64(e.endAddr, lineStart+c.lineBytes) - e.nextLine)
+			// The per-cycle request/load limits are per memory
+			// *instruction* (the paper's SST backend fetches a wide
+			// vector's lines from parallel banks); only the byte
+			// bandwidth meters the individual lines.
+			if e.nextLine == e.addr && (requests < 1 || loadOps < 1) {
+				blocked = true
+				break
+			}
+			if c.loadCredit < 1 {
+				blocked = true
+				break
+			}
+			if e.nextLine == e.addr {
+				requests--
+				loadOps--
+			}
+			done := c.mem.Access(c.cycle, e.nextLine, false)
+			if done > e.memDone {
+				e.memDone = done
+			}
+			c.loadCredit -= portion
+			c.stats.MemRequests++
+			e.nextLine = lineStart + c.lineBytes
+			c.progress = true
+		}
+		if blocked {
+			// Budget-blocked with work pending: the budgets refresh next
+			// cycle, so the idle skipper must not jump past it.
+			c.events.Push(c.cycle + 1)
+			break
+		}
+		e.state = stLoadMem
+		c.loadHeap.Push(seqEvent{at: e.memDone, seq: lr.seq})
+		c.events.Push(e.memDone)
+		c.loadReqQ.Pop()
+		c.progress = true
+	}
+
+	// Committed store writes drain through the remaining budgets; each
+	// fully-issued store claims one LSQ completion slot and frees its SQ
+	// entry.
+	for completions > 0 && !c.storeWriteQ.Empty() {
+		sw := c.storeWriteQ.Peek()
+		blocked := false
+		for sw.nextLine < sw.endAddr {
+			lineStart := sw.nextLine &^ (c.lineBytes - 1)
+			portion := int64(minU64(sw.endAddr, lineStart+c.lineBytes) - sw.nextLine)
+			if sw.nextLine == sw.startAddr && (requests < 1 || storeOps < 1) {
+				blocked = true
+				break
+			}
+			if c.storeCredit < 1 {
+				blocked = true
+				break
+			}
+			if sw.nextLine == sw.startAddr {
+				requests--
+				storeOps--
+			}
+			c.mem.Access(c.cycle, sw.nextLine, true)
+			c.storeCredit -= portion
+			c.stats.MemRequests++
+			sw.nextLine = lineStart + c.lineBytes
+			c.progress = true
+		}
+		if blocked {
+			c.events.Push(c.cycle + 1)
+			break
+		}
+		c.storeWriteQ.Pop()
+		c.sqCount--
+		completions--
+		c.progress = true
+	}
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ----------------------------------------------------------------- issue --
+
+// resolveWaiters publishes e's completion time to every consumer on its
+// wake list. Called exactly once per entry, when resultAt becomes known.
+func (c *Core) resolveWaiters(e *entry, at int64) {
+	n := e.wakeHead
+	e.wakeHead = -1
+	for n >= 0 {
+		cseq := n >> 2
+		cons := &c.window[cseq%c.cp]
+		slot := n & 3
+		n = cons.wakeNext[slot]
+		cons.wakeNext[slot] = -1
+		if at > cons.earliestReady {
+			cons.earliestReady = at
+		}
+		cons.pendingSrcs--
+		if cons.pendingSrcs == 0 {
+			c.markReady(cseq, cons)
+		}
+	}
+}
+
+// markReady enqueues a fully-resolved entry for issue at its ready cycle.
+func (c *Core) markReady(seq int64, e *entry) {
+	at := e.earliestReady
+	if at < c.cycle {
+		at = c.cycle
+	}
+	c.readyHeap.Push(seqEvent{at: at, seq: seq})
+	if at > c.cycle {
+		c.events.Push(at)
+	}
+}
+
+func (c *Core) issueStage() {
+	// Pull newly ready entries into the age-ordered ready list.
+	for c.readyHeap.Len() > 0 && c.readyHeap.Min().at <= c.cycle {
+		seq := c.readyHeap.Pop().seq
+		i := len(c.readyList)
+		c.readyList = append(c.readyList, seq)
+		for i > 0 && c.readyList[i-1] > seq {
+			c.readyList[i] = c.readyList[i-1]
+			i--
+		}
+		c.readyList[i] = seq
+	}
+	issued := 0
+	for i := 0; i < len(c.readyList); i++ {
+		seq := c.readyList[i]
+		e := &c.window[seq%c.cp]
+		port := -1
+		for p := range c.ports {
+			if c.ports[p].accept.Has(e.op) && c.ports[p].freeAt <= c.cycle {
+				port = p
+				break
+			}
+		}
+		if port < 0 {
+			continue
+		}
+		if e.op.Pipelined() {
+			c.ports[port].freeAt = c.cycle + 1
+		} else {
+			c.ports[port].freeAt = c.cycle + int64(e.op.Latency())
+		}
+		c.stats.PortIssued[port]++
+		switch e.op {
+		case isa.Load:
+			// Address generation this cycle; line requests from next.
+			e.state = stLoadAGU
+			c.loadReqQ.Push(loadReq{seq: seq, availableAt: c.cycle + 1})
+			c.events.Push(c.cycle + 1)
+		case isa.Store:
+			// Address and data captured; the write drains post-commit.
+			e.state = stExec
+			e.resultAt = c.cycle + 1
+			c.events.Push(e.resultAt)
+			c.resolveWaiters(e, e.resultAt)
+		default:
+			e.state = stExec
+			e.resultAt = c.cycle + int64(e.op.Latency())
+			c.events.Push(e.resultAt)
+			c.resolveWaiters(e, e.resultAt)
+		}
+		c.readyList[i] = -1
+		c.rsCount--
+		issued++
+		c.progress = true
+	}
+	if issued > 0 {
+		kept := c.readyList[:0]
+		for _, seq := range c.readyList {
+			if seq >= 0 {
+				kept = append(kept, seq)
+			}
+		}
+		c.readyList = kept
+	}
+}
+
+// -------------------------------------------------------------- dispatch --
+
+func (c *Core) dispatchStage() {
+	for n := 0; n < isa.DispatchRate && !c.renameQ.Empty(); n++ {
+		rec := c.renameQ.Peek()
+		if c.seqDispatched-c.seqCommitted >= c.cp {
+			c.stats.ROBStalls++
+			return
+		}
+		if c.rsCount >= isa.ReservationStationSize {
+			c.stats.RSStalls++
+			return
+		}
+		switch rec.op {
+		case isa.Load:
+			if c.lqCount >= c.cfg.LoadQueueSize {
+				c.stats.LQStalls++
+				return
+			}
+		case isa.Store:
+			if c.sqCount >= c.cfg.StoreQueueSize {
+				c.stats.SQStalls++
+				return
+			}
+		}
+		r := c.renameQ.Pop()
+		seq := c.seqDispatched
+		c.seqDispatched++
+		e := &c.window[seq%c.cp]
+		*e = entry{
+			resultAt:     doneNever,
+			nextLine:     r.addr,
+			endAddr:      r.addr + uint64(r.bytes),
+			addr:         r.addr,
+			pc:           r.pc,
+			dispatchedAt: c.cycle,
+			wakeHead:     -1,
+			wakeNext:     [4]int64{-1, -1, -1, -1},
+			op:           r.op,
+			sve:          r.sve,
+			state:        stInRS,
+			nd:           r.nd,
+			destClass:    r.destClass,
+		}
+		// Resolve sources now or subscribe to their producers.
+		for i := 0; i < int(r.ns); i++ {
+			s := r.srcSeq[i]
+			if s < 0 || s < c.seqCommitted {
+				continue // architectural or committed: ready
+			}
+			p := &c.window[s%c.cp]
+			if p.resultAt != doneNever {
+				if p.resultAt > e.earliestReady {
+					e.earliestReady = p.resultAt
+				}
+				continue
+			}
+			// Producer completion unknown: link a wake node.
+			e.wakeNext[i] = p.wakeHead
+			p.wakeHead = seq*4 + int64(i)
+			e.pendingSrcs++
+		}
+		if e.pendingSrcs == 0 {
+			c.markReady(seq, e)
+		}
+		switch r.op {
+		case isa.Load:
+			c.lqCount++
+		case isa.Store:
+			c.sqCount++
+		}
+		c.rsCount++
+		c.progress = true
+	}
+}
+
+// ---------------------------------------------------------------- rename --
+
+func (c *Core) renameStage() {
+	for n := 0; n < c.cfg.FrontendWidth && !c.fetchQ.Empty() && !c.renameQ.Full(); n++ {
+		in := c.fetchQ.Peek()
+		// Check free physical registers for every destination class.
+		var need [isa.NumRegClasses]int
+		for i := 0; i < int(in.NDests); i++ {
+			need[in.Dests[i].Class]++
+		}
+		for cl := 0; cl < isa.NumRegClasses; cl++ {
+			if need[cl] > 0 && c.inFlight[cl]+need[cl] > c.physAvail[cl] {
+				c.stats.RenameStalls[cl]++
+				return
+			}
+		}
+		inst := c.fetchQ.Pop()
+		seq := c.seqRenamed
+		c.seqRenamed++
+		var r renamed
+		r.op = inst.Op
+		r.sve = inst.SVE
+		r.pc = inst.PC
+		r.nd = inst.NDests
+		r.ns = inst.NSrcs
+		if inst.Op.IsMem() {
+			if inst.Mem.Bytes == 0 {
+				c.fail("simeng: zero-byte memory access at pc %#x", inst.PC)
+				return
+			}
+			r.addr = inst.Mem.Addr
+			r.bytes = inst.Mem.Bytes
+		}
+		for i := 0; i < int(inst.NSrcs); i++ {
+			s := inst.Srcs[i]
+			if int(s.ID) >= len(c.regProducer[s.Class]) {
+				c.fail("simeng: source register %v out of architectural range at pc %#x", s, inst.PC)
+				return
+			}
+			r.srcSeq[i] = c.regProducer[s.Class][s.ID]
+		}
+		for i := 0; i < int(inst.NDests); i++ {
+			d := inst.Dests[i]
+			if int(d.ID) >= len(c.regProducer[d.Class]) {
+				c.fail("simeng: destination register %v out of architectural range at pc %#x", d, inst.PC)
+				return
+			}
+			c.regProducer[d.Class][d.ID] = seq
+			r.destClass[i] = uint8(d.Class)
+			c.inFlight[d.Class]++
+		}
+		c.renameQ.Push(r)
+		c.progress = true
+	}
+}
+
+// ----------------------------------------------------------------- fetch --
+
+// ensurePeek keeps a one-instruction lookahead over the stream.
+func (c *Core) ensurePeek() bool {
+	if c.havePeek {
+		return true
+	}
+	if c.streamDone {
+		return false
+	}
+	if !c.stream.Next(&c.peek) {
+		c.streamDone = true
+		return false
+	}
+	c.havePeek = true
+	return true
+}
+
+func (c *Core) fetchStage() {
+	fbs := uint64(c.cfg.FetchBlockSize)
+	var blockEnd uint64
+	blockSet := false
+	for n := 0; n < c.cfg.FrontendWidth && !c.fetchQ.Full(); n++ {
+		if !c.ensurePeek() {
+			return
+		}
+		pc := c.peek.PC
+		if !c.lbActive {
+			if !blockSet {
+				blockEnd = (pc &^ (fbs - 1)) + fbs
+				blockSet = true
+			}
+			if pc >= blockEnd || pc < blockEnd-fbs {
+				// Next instruction lies in another fetch block.
+				return
+			}
+		}
+		inst := c.peek
+		c.havePeek = false
+		c.fetchQ.Push(inst)
+		c.stats.Fetched++
+		if c.lbActive {
+			c.stats.LoopBufferFetched++
+		}
+		c.progress = true
+		if inst.Op != isa.Branch {
+			continue
+		}
+		if inst.Branch.Taken {
+			span := 0
+			if inst.Branch.LoopBack && inst.PC >= inst.Branch.Target {
+				span = int((inst.PC-inst.Branch.Target)/isa.InstBytes) + 1
+			}
+			if inst.Branch.LoopBack && span > 0 && span <= c.cfg.LoopBufferSize {
+				if inst.PC == c.lbBranchPC {
+					c.lbSeen++
+					if c.lbSeen >= 2 {
+						// The whole loop body has streamed through
+						// twice: lock it into the loop buffer.
+						c.lbActive = true
+					}
+				} else {
+					c.lbBranchPC = inst.PC
+					c.lbSeen = 1
+					c.lbActive = false
+				}
+			} else {
+				c.lbActive = false
+				c.lbBranchPC = 0
+				c.lbSeen = 0
+			}
+			if !c.lbActive {
+				// Taken-branch redirect ends this cycle's fetch group.
+				return
+			}
+		} else if inst.Branch.LoopBack && inst.PC == c.lbBranchPC {
+			// Loop exit: release the loop buffer.
+			c.lbActive = false
+			c.lbBranchPC = 0
+			c.lbSeen = 0
+		}
+	}
+}

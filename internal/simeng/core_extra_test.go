@@ -1,0 +1,342 @@
+package simeng
+
+import (
+	"reflect"
+	"testing"
+
+	"armdse/internal/isa"
+	"armdse/internal/sstmem"
+)
+
+func TestBandwidthCreditCarriesOver(t *testing.T) {
+	// A 64-byte access with 16 B/cycle load bandwidth must still complete
+	// (draining over ~4 cycles) rather than wedging — the credit model.
+	cfg := bigCfg()
+	cfg.LoadBandwidth = 16
+	cfg.StoreBandwidth = 16
+	ld := loadAt(1, 1<<20, 64)
+	ld.SVE = true
+	st := simulate(t, cfg, seqPCs(0x1000, []isa.Inst{ld}))
+	if st.Retired != 1 {
+		t.Fatalf("retired = %d", st.Retired)
+	}
+	// And a matching store drains too.
+	sto := storeAt(1, 1<<20, 64)
+	sto.SVE = true
+	st2 := simulate(t, cfg, seqPCs(0x1000, []isa.Inst{sto}))
+	if st2.Stores != 1 {
+		t.Fatalf("stores = %d", st2.Stores)
+	}
+}
+
+func TestSustainedBandwidthMatchesCredit(t *testing.T) {
+	// Stream n 64-byte L1-resident loads with 16 B/cycle bandwidth: the
+	// steady state must be ~4 cycles per load.
+	const n = 400
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		insts[i] = loadAt(1+i%16, uint64(1<<20)+uint64(i%8)*64, 64)
+		insts[i].SVE = true
+	}
+	seqPCs(0x1000, insts)
+	cfg := bigCfg()
+	cfg.LoadBandwidth = 16
+	st := simulate(t, cfg, insts)
+	wantMin := int64(n * 64 / 16)
+	if st.Cycles < wantMin {
+		t.Errorf("cycles = %d, below bandwidth bound %d", st.Cycles, wantMin)
+	}
+	if st.Cycles > wantMin*2 {
+		t.Errorf("cycles = %d, far above bandwidth bound %d", st.Cycles, wantMin)
+	}
+}
+
+func TestVectorStoreSplitsAndDrains(t *testing.T) {
+	cfg := bigCfg()
+	cfg.VectorLength = 1024
+	cfg.LoadBandwidth = 128
+	cfg.StoreBandwidth = 128
+	sto := storeAt(1, 1<<20, 128) // two 64-byte lines
+	sto.SVE = true
+	st := simulate(t, cfg, seqPCs(0x1000, []isa.Inst{sto}))
+	if st.MemRequests != 2 {
+		t.Errorf("store requests = %d, want 2", st.MemRequests)
+	}
+}
+
+func TestLSQCompletionWidthGatesWritebacks(t *testing.T) {
+	// Many loads completing together: width 1 forces one writeback per
+	// cycle, so the run takes visibly longer than width 8.
+	const n = 128
+	mk := func() []isa.Inst {
+		insts := make([]isa.Inst, n)
+		for i := range insts {
+			insts[i] = loadAt(1+i%16, uint64(1<<20)+uint64(i%4)*64, 8)
+		}
+		return seqPCs(0x1000, insts)
+	}
+	wide := bigCfg()
+	wide.LSQCompletionWidth = 8
+	stWide := simulate(t, wide, mk())
+	narrow := bigCfg()
+	narrow.LSQCompletionWidth = 1
+	stNarrow := simulate(t, narrow, mk())
+	if stNarrow.Cycles <= stWide.Cycles {
+		t.Errorf("completion width 1 (%d cycles) not slower than 8 (%d)", stNarrow.Cycles, stWide.Cycles)
+	}
+}
+
+func TestLoopBufferCapacityBoundary(t *testing.T) {
+	// A loop of exactly LoopBufferSize instructions fits; one more does
+	// not. Body ALUs + branch = span instructions.
+	mk := func(bodyALUs int) []isa.Inst { return tightLoop(bodyALUs, 30) }
+	cfg := bigCfg()
+	cfg.LoopBufferSize = 10
+	cfg.FetchBlockSize = 4 // starve fetch so the buffer matters
+
+	fits := simulate(t, cfg, mk(9)) // 9 ALUs + branch = 10 = capacity
+	if fits.LoopBufferFetched == 0 {
+		t.Error("loop exactly at capacity did not engage the buffer")
+	}
+	over := simulate(t, cfg, mk(10)) // 11 instructions > capacity
+	if over.LoopBufferFetched != 0 {
+		t.Error("loop beyond capacity engaged the buffer")
+	}
+}
+
+func TestCustomPortLayout(t *testing.T) {
+	// A single mixed port serialises independent ALU work.
+	cfg := bigCfg()
+	cfg.Ports = []isa.Port{
+		{Name: "LS", Accept: isa.Groups(isa.Load, isa.Store)},
+		{Name: "V", Accept: isa.Groups(isa.SVEAdd, isa.SVEMul, isa.SVEFMA, isa.SVEDiv)},
+		{Name: "P", Accept: isa.Groups(isa.PredOp)},
+		{Name: "M", Accept: isa.Groups(isa.IntALU, isa.IntMul, isa.IntDiv, isa.FPAdd, isa.FPMul, isa.FPFMA, isa.FPDiv, isa.Branch)},
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		insts[i] = alu(0, 1+i%16, 20)
+	}
+	seqPCs(0x1000, insts)
+	st := simulate(t, cfg, insts)
+	if st.Cycles < n {
+		t.Errorf("single mixed port: %d cycles for %d independent ALUs", st.Cycles, n)
+	}
+
+	// Missing coverage is rejected.
+	bad := bigCfg()
+	bad.Ports = []isa.Port{{Name: "M", Accept: isa.Groups(isa.IntALU)}}
+	if err := bad.Validate(); err == nil {
+		t.Error("port layout without load coverage accepted")
+	}
+}
+
+func TestEffectivePortsDefault(t *testing.T) {
+	cfg := bigCfg()
+	if got := len(cfg.EffectivePorts()); got != len(isa.PaperPorts()) {
+		t.Errorf("default ports = %d", got)
+	}
+	cfg.Ports = isa.PaperPorts()[:3]
+	if got := len(cfg.EffectivePorts()); got != 3 {
+		t.Errorf("override ports = %d", got)
+	}
+}
+
+func TestMixedWorkloadStream(t *testing.T) {
+	// A stream interleaving every instruction kind retires completely and
+	// counts each kind correctly.
+	var insts []isa.Inst
+	kinds := []isa.Group{isa.IntALU, isa.FPFMA, isa.SVEAdd, isa.PredOp, isa.IntDiv, isa.Branch}
+	for i := 0; i < 120; i++ {
+		g := kinds[i%len(kinds)]
+		var in isa.Inst
+		in.Op = g
+		switch g {
+		case isa.Branch:
+			in.Branch = isa.BranchInfo{Taken: false}
+			in.AddSrc(isa.R(isa.Cond, 0))
+		case isa.PredOp:
+			in.AddDest(isa.R(isa.Pred, 1))
+			in.AddSrc(isa.R(isa.GP, 2))
+		case isa.SVEAdd:
+			in.SVE = true
+			in.AddDest(isa.R(isa.FP, 1+i%8))
+			in.AddSrc(isa.R(isa.FP, 9))
+		case isa.IntALU, isa.IntDiv:
+			in.AddDest(isa.R(isa.GP, 1+i%8))
+			in.AddSrc(isa.R(isa.GP, 9))
+		default:
+			in.AddDest(isa.R(isa.FP, 1+i%8))
+			in.AddSrc(isa.R(isa.FP, 9))
+		}
+		insts = append(insts, in)
+	}
+	// Sprinkle loads and stores.
+	insts = append(insts, loadAt(1, 1<<20, 8), storeAt(1, 1<<20, 8))
+	seqPCs(0x1000, insts)
+	st := simulate(t, bigCfg(), insts)
+	if st.Retired != int64(len(insts)) {
+		t.Fatalf("retired %d of %d", st.Retired, len(insts))
+	}
+	if st.Branches != 20 || st.Loads != 1 || st.Stores != 1 {
+		t.Errorf("kind counts: branches=%d loads=%d stores=%d", st.Branches, st.Loads, st.Stores)
+	}
+	if st.SVERetired != 20 {
+		t.Errorf("sve retired = %d, want 20", st.SVERetired)
+	}
+}
+
+func TestWAWAndWARDoNotSerialise(t *testing.T) {
+	// Write-after-write to the same architectural register with ample
+	// physical registers: renaming removes the hazard, so n long-latency
+	// FMAs to the same dest overlap (far less than n*latency cycles).
+	const n = 60
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		var in isa.Inst
+		in.Op = isa.FPFMA
+		in.AddDest(isa.R(isa.FP, 1)) // same arch dest every time
+		in.AddSrc(isa.R(isa.FP, 20))
+		insts[i] = in
+	}
+	seqPCs(0x1000, insts)
+	st := simulate(t, bigCfg(), insts)
+	serialBound := int64(n * isa.FPFMA.Latency())
+	if st.Cycles >= serialBound {
+		t.Errorf("WAW chain serialised: %d cycles (serial bound %d)", st.Cycles, serialBound)
+	}
+}
+
+func TestTrueDependencyThroughMemoryStages(t *testing.T) {
+	// load -> FMA -> store chain: the store cannot complete before the
+	// load's data returns plus the FMA latency.
+	ld := loadAt(1, 1<<20, 8)
+	var fma isa.Inst
+	fma.Op = isa.FPFMA
+	fma.AddDest(isa.R(isa.FP, 2))
+	fma.AddSrc(isa.R(isa.FP, 1))
+	sto := storeAt(2, 1<<21, 8)
+	insts := seqPCs(0x1000, []isa.Inst{ld, fma, sto})
+	st := simulate(t, bigCfg(), insts)
+	// Cold miss ~200 cycles + FMA latency.
+	if st.Cycles < 200+int64(isa.FPFMA.Latency()) {
+		t.Errorf("chain completed in %d cycles, too fast for a cold miss + FMA", st.Cycles)
+	}
+}
+
+func TestStatsVectorisationMatchesStream(t *testing.T) {
+	// The simulator's retired-SVE percentage equals the stream's static
+	// classification (paper Fig. 1 definition).
+	insts := make([]isa.Inst, 100)
+	for i := range insts {
+		var in isa.Inst
+		if i%4 == 0 {
+			in.Op = isa.SVEAdd
+			in.SVE = true
+			in.AddDest(isa.R(isa.FP, 1+i%8))
+		} else {
+			in.Op = isa.IntALU
+			in.AddDest(isa.R(isa.GP, 1+i%8))
+		}
+		insts[i] = in
+	}
+	seqPCs(0x1000, insts)
+	st := simulate(t, bigCfg(), insts)
+	if st.VectorisationPct() != 25 {
+		t.Errorf("vectorisation = %.1f%%, want 25%%", st.VectorisationPct())
+	}
+}
+
+func TestRunOnFreshHierarchyPerCore(t *testing.T) {
+	// Two cores sharing one hierarchy is a misuse we don't guard against,
+	// but sequential fresh pairs must give identical results (no hidden
+	// global state).
+	mk := func() Stats {
+		h, err := sstmem.New(testMemCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := New(bigCfg(), h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.Run(isa.NewSliceStream(tightLoop(8, 40)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	if a, b := mk(), mk(); !reflect.DeepEqual(a, b) {
+		t.Errorf("fresh runs diverge:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestTracerDeliversOrderedEvents(t *testing.T) {
+	h, err := sstmem.New(testMemCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(bigCfg(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []TraceEvent
+	c.SetTracer(func(ev TraceEvent) { events = append(events, ev) })
+	insts := tightLoop(6, 20)
+	st, err := c.Run(isa.NewSliceStream(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(events)) != st.Retired {
+		t.Fatalf("traced %d events, retired %d", len(events), st.Retired)
+	}
+	for i, ev := range events {
+		if ev.Seq != int64(i) {
+			t.Fatalf("event %d has seq %d (out of order)", i, ev.Seq)
+		}
+		if ev.Dispatched > ev.Done || ev.Done > ev.Committed {
+			t.Fatalf("event %d has inverted lifecycle: %+v", i, ev)
+		}
+		if i > 0 && ev.Committed < events[i-1].Committed {
+			t.Fatalf("commit cycles regressed at %d", i)
+		}
+	}
+	// PCs come from the static code.
+	if events[0].PC != insts[0].PC {
+		t.Errorf("first event PC = %#x, want %#x", events[0].PC, insts[0].PC)
+	}
+}
+
+func TestOccupancyAndPortStats(t *testing.T) {
+	st := simulate(t, bigCfg(), tightLoop(10, 50))
+	if st.AvgROBOccupancy() <= 0 || st.AvgROBOccupancy() > float64(bigCfg().ROBSize) {
+		t.Errorf("avg ROB occupancy = %.2f", st.AvgROBOccupancy())
+	}
+	if st.AvgRSOccupancy() < 0 || st.AvgRSOccupancy() > 60 {
+		t.Errorf("avg RS occupancy = %.2f", st.AvgRSOccupancy())
+	}
+	if len(st.PortIssued) != len(isa.PaperPorts()) {
+		t.Fatalf("port counters = %d", len(st.PortIssued))
+	}
+	var issued int64
+	for _, n := range st.PortIssued {
+		issued += n
+	}
+	if issued != st.Retired {
+		t.Errorf("port issues %d != retired %d", issued, st.Retired)
+	}
+	util := st.PortUtilisation()
+	for i, u := range util {
+		if u < 0 || u > 1 {
+			t.Errorf("port %d utilisation %.2f outside [0,1]", i, u)
+		}
+	}
+	var zero Stats
+	if zero.AvgROBOccupancy() != 0 || zero.AvgRSOccupancy() != 0 || len(zero.PortUtilisation()) != 0 {
+		t.Error("zero stats unsafe")
+	}
+}

@@ -1,0 +1,163 @@
+package simeng
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"armdse/internal/isa"
+)
+
+// randomProgram builds a random but structurally valid instruction stream:
+// register indices within architectural bounds, memory accesses inside a
+// 1 MiB window, branches resolved not-taken.
+func randomProgram(rng *rand.Rand, n int) []isa.Inst {
+	insts := make([]isa.Inst, n)
+	groups := []isa.Group{
+		isa.IntALU, isa.IntMul, isa.IntDiv,
+		isa.FPAdd, isa.FPMul, isa.FPFMA, isa.FPDiv,
+		isa.SVEAdd, isa.SVEMul, isa.SVEFMA,
+		isa.PredOp, isa.Load, isa.Store, isa.Branch,
+	}
+	for i := range insts {
+		g := groups[rng.Intn(len(groups))]
+		in := &insts[i]
+		in.Op = g
+		in.PC = 0x1000 + uint64(i*isa.InstBytes)
+		switch {
+		case g == isa.Branch:
+			in.AddSrc(isa.R(isa.Cond, 0))
+			in.Branch = isa.BranchInfo{Taken: false}
+		case g == isa.PredOp:
+			in.AddDest(isa.R(isa.Pred, rng.Intn(16)))
+			if rng.Intn(2) == 0 {
+				in.AddDest(isa.R(isa.Cond, 0))
+			}
+			in.AddSrc(isa.R(isa.GP, rng.Intn(32)))
+		case g.IsMem():
+			width := []uint32{4, 8, 16, 32, 64}[rng.Intn(5)]
+			addr := uint64(1<<20) + uint64(rng.Intn(1<<20-int(width)))
+			in.Mem = isa.MemRef{Addr: addr, Bytes: width}
+			if g == isa.Load {
+				in.AddDest(isa.R(isa.FP, rng.Intn(32)))
+			} else {
+				in.AddSrc(isa.R(isa.FP, rng.Intn(32)))
+			}
+			in.AddSrc(isa.R(isa.GP, rng.Intn(32)))
+			in.SVE = width >= 16
+		case g.IsVector():
+			in.SVE = true
+			in.AddDest(isa.R(isa.FP, rng.Intn(32)))
+			in.AddSrc(isa.R(isa.FP, rng.Intn(32)))
+			in.AddSrc(isa.R(isa.FP, rng.Intn(32)))
+		case g >= isa.FPAdd && g <= isa.FPDiv:
+			in.AddDest(isa.R(isa.FP, rng.Intn(32)))
+			in.AddSrc(isa.R(isa.FP, rng.Intn(32)))
+		default:
+			in.AddDest(isa.R(isa.GP, rng.Intn(32)))
+			in.AddSrc(isa.R(isa.GP, rng.Intn(32)))
+			if rng.Intn(3) == 0 {
+				in.AddSrc(isa.R(isa.GP, rng.Intn(32)))
+			}
+		}
+	}
+	return insts
+}
+
+// randomConfig draws a small-but-valid core configuration.
+func randomConfig(rng *rand.Rand) Config {
+	pow2 := func(lo, hi int) int {
+		v := lo
+		for v*2 <= hi && rng.Intn(2) == 0 {
+			v *= 2
+		}
+		return v
+	}
+	cfg := Config{
+		VectorLength:        pow2(128, 2048),
+		FetchBlockSize:      pow2(4, 256),
+		LoopBufferSize:      rng.Intn(64),
+		GPRegisters:         40 + 8*rng.Intn(20),
+		FPSVERegisters:      40 + 8*rng.Intn(20),
+		PredRegisters:       24 + 8*rng.Intn(20),
+		CondRegisters:       8 + 8*rng.Intn(20),
+		CommitWidth:         1 + rng.Intn(8),
+		FrontendWidth:       1 + rng.Intn(8),
+		LSQCompletionWidth:  1 + rng.Intn(4),
+		ROBSize:             8 + 4*rng.Intn(40),
+		LoadQueueSize:       4 + 4*rng.Intn(16),
+		StoreQueueSize:      4 + 4*rng.Intn(16),
+		LoadBandwidth:       1024,
+		StoreBandwidth:      1024,
+		MemRequestsPerCycle: 1 + rng.Intn(8),
+		MemLoadsPerCycle:    1 + rng.Intn(4),
+		MemStoresPerCycle:   1 + rng.Intn(4),
+	}
+	return cfg
+}
+
+// TestRandomProgramsTerminateWithinBounds is the engine's central safety
+// property: any structurally valid program on any valid configuration
+// terminates without deadlock, retires everything, and lands between the
+// commit-width lower bound and a generous serial upper bound.
+func TestRandomProgramsTerminateWithinBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(300)
+		insts := randomProgram(rng, n)
+		cfg := randomConfig(rng)
+		if err := cfg.Validate(); err != nil {
+			t.Logf("config invalid: %v", err)
+			return false
+		}
+		st, err := Simulate(cfg, testMemCfg(), isa.NewSliceStream(insts))
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if st.Retired != int64(n) {
+			t.Logf("seed %d: retired %d of %d", seed, st.Retired, n)
+			return false
+		}
+		// Lower bound: commit width is a hard cap.
+		if lb := int64(n / cfg.CommitWidth); st.Cycles < lb {
+			t.Logf("seed %d: %d cycles below commit bound %d", seed, st.Cycles, lb)
+			return false
+		}
+		// Upper bound: fully serial execution with every memory access a
+		// RAM miss, plus constant slack.
+		ub := int64(n)*(int64(isa.SVEDiv.Latency())+250) + 10_000
+		if st.Cycles > ub {
+			t.Logf("seed %d: %d cycles above serial bound %d", seed, st.Cycles, ub)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomProgramsDeterministic re-runs random programs and demands
+// identical statistics.
+func TestRandomProgramsDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(200)
+		insts := randomProgram(rng, n)
+		cfg := randomConfig(rng)
+		a, err := Simulate(cfg, testMemCfg(), isa.NewSliceStream(insts))
+		if err != nil {
+			return false
+		}
+		b, err := Simulate(cfg, testMemCfg(), isa.NewSliceStream(insts))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

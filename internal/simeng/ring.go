@@ -1,0 +1,46 @@
+package simeng
+
+// ring is a fixed-capacity FIFO. Pushing past capacity panics: callers gate
+// on Full, and overflow indicates a structural accounting bug.
+type ring[T any] struct {
+	buf   []T
+	head  int
+	count int
+}
+
+func newRing[T any](capacity int) ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return ring[T]{buf: make([]T, capacity)}
+}
+
+func (r *ring[T]) Empty() bool { return r.count == 0 }
+func (r *ring[T]) Full() bool  { return r.count == len(r.buf) }
+func (r *ring[T]) Len() int    { return r.count }
+
+func (r *ring[T]) Push(v T) {
+	if r.Full() {
+		panic("simeng: ring overflow")
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = v
+	r.count++
+}
+
+// Peek returns a pointer to the head element; mutations persist.
+func (r *ring[T]) Peek() *T {
+	if r.Empty() {
+		panic("simeng: peek of empty ring")
+	}
+	return &r.buf[r.head]
+}
+
+func (r *ring[T]) Pop() T {
+	if r.Empty() {
+		panic("simeng: pop of empty ring")
+	}
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	return v
+}

@@ -1,0 +1,102 @@
+package simeng
+
+import (
+	"fmt"
+
+	"armdse/internal/isa"
+	"armdse/internal/sstmem"
+)
+
+// Stats summarises one simulated run. Cycles is the study's target variable.
+type Stats struct {
+	// Cycles is the total execution time in core cycles.
+	Cycles int64
+	// Retired counts committed instructions.
+	Retired int64
+	// SVERetired counts committed instructions with at least one Z
+	// register operand — the Fig. 1 vectorisation numerator.
+	SVERetired int64
+	// Loads, Stores and Branches count committed instructions by kind.
+	Loads    int64
+	Stores   int64
+	Branches int64
+
+	// Fetched counts instructions supplied by the front end;
+	// LoopBufferFetched is the subset streamed from the loop buffer.
+	Fetched           int64
+	LoopBufferFetched int64
+
+	// RenameStalls counts instruction-cycles the rename stage stalled for
+	// a free physical register, per register class.
+	RenameStalls [isa.NumRegClasses]int64
+	// ROBStalls, RSStalls, LQStalls and SQStalls count instruction-cycles
+	// dispatch stalled on a full structure.
+	ROBStalls int64
+	RSStalls  int64
+	LQStalls  int64
+	SQStalls  int64
+
+	// MemRequests counts line requests issued to the hierarchy.
+	MemRequests int64
+	// Mem carries the memory-hierarchy counters.
+	Mem sstmem.Stats
+
+	// PortIssued counts instructions issued per execution port, in the
+	// order of Config.EffectivePorts().
+	PortIssued []int64
+	// ROBOccupancy and RSOccupancy integrate structure occupancy over
+	// time (entry-cycles); divide by Cycles for the mean.
+	ROBOccupancy int64
+	RSOccupancy  int64
+}
+
+// AvgROBOccupancy returns the mean reorder-buffer occupancy.
+func (s Stats) AvgROBOccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.ROBOccupancy) / float64(s.Cycles)
+}
+
+// AvgRSOccupancy returns the mean reservation-station occupancy.
+func (s Stats) AvgRSOccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.RSOccupancy) / float64(s.Cycles)
+}
+
+// PortUtilisation returns each port's issued-instructions-per-cycle.
+func (s Stats) PortUtilisation() []float64 {
+	out := make([]float64, len(s.PortIssued))
+	if s.Cycles == 0 {
+		return out
+	}
+	for i, n := range s.PortIssued {
+		out[i] = float64(n) / float64(s.Cycles)
+	}
+	return out
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// VectorisationPct returns the percentage of retired instructions that are
+// SVE instructions.
+func (s Stats) VectorisationPct() float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return 100 * float64(s.SVERetired) / float64(s.Retired)
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("cycles=%d retired=%d ipc=%.3f sve=%.1f%% l1miss=%d l2miss=%d",
+		s.Cycles, s.Retired, s.IPC(), s.VectorisationPct(), s.Mem.L1Misses, s.Mem.L2Misses)
+}

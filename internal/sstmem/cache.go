@@ -1,0 +1,143 @@
+package sstmem
+
+// cache is one set-associative, write-back, write-allocate cache level with
+// LRU replacement. Tags are line addresses (byte address / line width); the
+// structure is deliberately allocation-free per access.
+type cache struct {
+	sets      int
+	assoc     int
+	lineShift uint
+	// ways is sets×assoc entries, row-major by set.
+	ways []way
+	// clock is a monotonically increasing use counter driving LRU.
+	clock uint64
+}
+
+type way struct {
+	tag   uint64
+	used  uint64
+	valid bool
+	dirty bool
+}
+
+// newCache sizes a cache from capacity bytes, associativity and line width.
+// Degenerate geometries (capacity < assoc lines) collapse to a single set of
+// fewer ways rather than failing: the parameter sampler can produce tiny L1s.
+func newCache(capacity, assoc, lineBytes int) *cache {
+	lines := capacity / lineBytes
+	if lines < 1 {
+		lines = 1
+	}
+	if assoc > lines {
+		assoc = lines
+	}
+	sets := lines / assoc
+	if sets < 1 {
+		sets = 1
+	}
+	// Round sets down to a power of two for cheap indexing.
+	for sets&(sets-1) != 0 {
+		sets &^= sets & -sets // clear lowest set bit
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	return &cache{
+		sets:      sets,
+		assoc:     assoc,
+		lineShift: shift,
+		ways:      make([]way, sets*assoc),
+	}
+}
+
+// Lines returns the total line capacity.
+func (c *cache) Lines() int { return c.sets * c.assoc }
+
+// lookup probes for the line containing addr, updating LRU on hit. It
+// returns whether it hit and, on a hit, marks the line dirty if store.
+func (c *cache) lookup(addr uint64, store bool) bool {
+	line := addr >> c.lineShift
+	set := int(line) & (c.sets - 1)
+	base := set * c.assoc
+	c.clock++
+	for i := 0; i < c.assoc; i++ {
+		w := &c.ways[base+i]
+		if w.valid && w.tag == line {
+			w.used = c.clock
+			if store {
+				w.dirty = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// present probes for the line without touching LRU or dirty state.
+func (c *cache) present(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line) & (c.sets - 1)
+	base := set * c.assoc
+	for i := 0; i < c.assoc; i++ {
+		w := &c.ways[base+i]
+		if w.valid && w.tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// fill inserts the line containing addr, evicting LRU if needed. It returns
+// the evicted line's first byte address and whether the victim was dirty
+// (needing writeback); evicted is only meaningful when victimValid is true.
+func (c *cache) fill(addr uint64, store bool) (evicted uint64, dirty, victimValid bool) {
+	line := addr >> c.lineShift
+	set := int(line) & (c.sets - 1)
+	base := set * c.assoc
+	c.clock++
+	victim := base
+	for i := 0; i < c.assoc; i++ {
+		w := &c.ways[base+i]
+		if w.valid && w.tag == line {
+			// Already present (e.g. racing prefetch): refresh.
+			w.used = c.clock
+			if store {
+				w.dirty = true
+			}
+			return 0, false, false
+		}
+		if !w.valid {
+			victim = base + i
+			break
+		}
+		if c.ways[victim].valid && w.used < c.ways[victim].used {
+			victim = base + i
+		}
+	}
+	w := &c.ways[victim]
+	victimValid = w.valid
+	evicted = w.tag << c.lineShift
+	dirty = w.valid && w.dirty
+	w.tag = line
+	w.valid = true
+	w.dirty = store
+	w.used = c.clock
+	return evicted, dirty, victimValid
+}
+
+// invalidate drops the line containing addr if present (used for inclusive
+// back-invalidation on L2 eviction).
+func (c *cache) invalidate(addr uint64) {
+	line := addr >> c.lineShift
+	set := int(line) & (c.sets - 1)
+	base := set * c.assoc
+	for i := 0; i < c.assoc; i++ {
+		w := &c.ways[base+i]
+		if w.valid && w.tag == line {
+			w.valid = false
+			w.dirty = false
+			return
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import "armdse/internal/isa"
+
+// Conventional register roles used by the kernel builders. Generators keep
+// architectural register usage inside the real file sizes (31 GP, 32 Z, 16 P)
+// so renaming behaviour is realistic.
+var (
+	// idxReg is the loop induction variable.
+	idxReg = isa.R(isa.GP, 1)
+	// boundReg holds the loop trip bound.
+	boundReg = isa.R(isa.GP, 2)
+	// nzcv is the condition flags register.
+	nzcv = isa.R(isa.Cond, 0)
+	// loopPred is the governing predicate of SVE loops.
+	loopPred = isa.R(isa.Pred, 0)
+)
+
+// Body incrementally assembles a loop body.
+type Body struct {
+	insts []TemplInst
+}
+
+// NewBody returns an empty body builder.
+func NewBody() *Body { return &Body{} }
+
+// Insts returns the assembled body.
+func (b *Body) Insts() []TemplInst { return b.insts }
+
+// Len returns the current body length in instructions.
+func (b *Body) Len() int { return len(b.insts) }
+
+// Load appends a load of pat into dst. sve marks a Z-destination vector load;
+// the governing predicate is a source for SVE loads, the induction register
+// is always an address source.
+func (b *Body) Load(dst isa.Reg, sve bool, pat MemPattern) {
+	var in isa.Inst
+	in.Op = isa.Load
+	in.SVE = sve
+	in.AddDest(dst)
+	in.AddSrc(idxReg)
+	if sve {
+		in.AddSrc(loopPred)
+	}
+	b.insts = append(b.insts, TemplInst{Inst: in, Pat: pat})
+}
+
+// Store appends a store of src to pat.
+func (b *Body) Store(src isa.Reg, sve bool, pat MemPattern) {
+	var in isa.Inst
+	in.Op = isa.Store
+	in.SVE = sve
+	in.AddSrc(src)
+	in.AddSrc(idxReg)
+	if sve {
+		in.AddSrc(loopPred)
+	}
+	b.insts = append(b.insts, TemplInst{Inst: in, Pat: pat})
+}
+
+// Op appends a register-to-register operation of group g writing dst from
+// srcs. sve marks Z-register (vector) operations; vector ops are additionally
+// governed by the loop predicate.
+func (b *Body) Op(g isa.Group, sve bool, dst isa.Reg, srcs ...isa.Reg) {
+	var in isa.Inst
+	in.Op = g
+	in.SVE = sve
+	in.AddDest(dst)
+	for _, s := range srcs {
+		in.AddSrc(s)
+	}
+	if sve {
+		in.AddSrc(loopPred)
+	}
+	b.insts = append(b.insts, TemplInst{Inst: in})
+}
+
+// SVELoopEnd appends the three-instruction SVE vector-length-agnostic loop
+// control sequence: INCW idx; WHILELO p0, idx, bound; B.FIRST — exactly the
+// tail the Arm compiler emits for scalable loops.
+func (b *Body) SVELoopEnd() {
+	var inc isa.Inst
+	inc.Op = isa.IntALU
+	inc.AddDest(idxReg)
+	inc.AddSrc(idxReg)
+	b.insts = append(b.insts, TemplInst{Inst: inc})
+
+	var while isa.Inst
+	while.Op = isa.PredOp
+	while.AddDest(loopPred)
+	while.AddDest(nzcv)
+	while.AddSrc(idxReg)
+	while.AddSrc(boundReg)
+	b.insts = append(b.insts, TemplInst{Inst: while})
+
+	var br isa.Inst
+	br.Op = isa.Branch
+	br.AddSrc(nzcv)
+	b.insts = append(b.insts, TemplInst{Inst: br})
+}
+
+// ScalarLoopEnd appends the scalar loop control sequence: ADD idx; CMP idx,
+// bound; B.LT.
+func (b *Body) ScalarLoopEnd() {
+	var inc isa.Inst
+	inc.Op = isa.IntALU
+	inc.AddDest(idxReg)
+	inc.AddSrc(idxReg)
+	b.insts = append(b.insts, TemplInst{Inst: inc})
+
+	var cmp isa.Inst
+	cmp.Op = isa.IntALU
+	cmp.AddDest(nzcv)
+	cmp.AddSrc(idxReg)
+	cmp.AddSrc(boundReg)
+	b.insts = append(b.insts, TemplInst{Inst: cmp})
+
+	var br isa.Inst
+	br.Op = isa.Branch
+	br.AddSrc(nzcv)
+	b.insts = append(b.insts, TemplInst{Inst: br})
+}
+
+// Loop wraps the body into a Loop with the given label and trip count.
+func (b *Body) Loop(label string, iters int64) Loop {
+	return Loop{Label: label, Body: b.insts, Iters: iters}
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }

@@ -1,0 +1,301 @@
+package workload
+
+import (
+	"fmt"
+
+	"armdse/internal/isa"
+)
+
+// The paper closes by noting its "modelling approach can be easily applied
+// to new codes". CustomKernel is that door: a declarative description of a
+// loop-nest kernel — arrays, loops, and per-iteration operations — from
+// which a vector-length-agnostic Workload is generated, ready for the same
+// simulation, dataset and surrogate pipeline as the four built-in apps.
+
+// OpKind is one operation in a custom loop body.
+type OpKind uint8
+
+const (
+	// OpLoad reads one element (or one vector of elements) from an array.
+	OpLoad OpKind = iota
+	// OpStore writes one element (or vector) to an array.
+	OpStore
+	// OpAdd, OpMul, OpFMA and OpDiv are arithmetic on the loop's virtual
+	// registers; the loop's Vector flag selects scalar FP or SVE forms.
+	OpAdd
+	OpMul
+	OpFMA
+	OpDiv
+)
+
+// String returns the op mnemonic.
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpAdd:
+		return "add"
+	case OpMul:
+		return "mul"
+	case OpFMA:
+		return "fma"
+	case OpDiv:
+		return "div"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// customRegs is the size of a custom loop's virtual register window.
+const customRegs = 16
+
+// CustomOp is one operation of a custom loop body. Registers are indices
+// into a window of 16 virtual registers, mapped onto architectural FP/SVE
+// registers by the generator.
+type CustomOp struct {
+	// Kind selects the operation.
+	Kind OpKind
+	// Array names the accessed array (loads/stores only).
+	Array string
+	// StrideElems is the per-iteration element stride (default 1).
+	StrideElems int64
+	// OffsetElems biases the access (e.g. stencil neighbours).
+	OffsetElems int64
+	// Dst is the destination register (loads and arithmetic).
+	Dst int
+	// Srcs are source registers (arithmetic: as many as the op needs;
+	// stores: Srcs[0] is the stored value).
+	Srcs []int
+	// Serial marks a reduction: Dst is also a source, forming a chain
+	// across iterations.
+	Serial bool
+}
+
+// CustomLoop is one loop of a custom kernel.
+type CustomLoop struct {
+	// Label names the loop in diagnostics.
+	Label string
+	// Elems is the logical trip count in elements; vector loops execute
+	// ceil(Elems / (VL/64)) iterations, scalar loops Elems.
+	Elems int64
+	// Vector marks the loop as SVE-vectorised (vector-length agnostic).
+	Vector bool
+	// Ops is the loop body.
+	Ops []CustomOp
+}
+
+// CustomKernel declares a synthetic workload.
+type CustomKernel struct {
+	// Name labels the workload (used as the dataset target column).
+	Name string
+	// Arrays maps array names to their length in 8-byte elements.
+	Arrays map[string]int64
+	// Loops execute in order; the whole sequence repeats Repeat times.
+	Loops []CustomLoop
+	// Repeat is the outer (timestep) count; 0 means 1.
+	Repeat int64
+}
+
+// Custom is a Workload generated from a CustomKernel.
+type Custom struct {
+	spec  CustomKernel
+	bases map[string]uint64
+	foot  int64
+}
+
+// NewCustom validates the kernel description and builds the workload.
+func NewCustom(spec CustomKernel) (*Custom, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("workload: custom kernel needs a name")
+	}
+	if spec.Repeat == 0 {
+		spec.Repeat = 1
+	}
+	if spec.Repeat < 0 {
+		return nil, fmt.Errorf("workload: negative repeat %d", spec.Repeat)
+	}
+	if len(spec.Loops) == 0 {
+		return nil, fmt.Errorf("workload: custom kernel %q has no loops", spec.Name)
+	}
+	al := newAlloc()
+	bases := make(map[string]uint64, len(spec.Arrays))
+	for name, elems := range spec.Arrays {
+		if elems <= 0 {
+			return nil, fmt.Errorf("workload: array %q has %d elements", name, elems)
+		}
+		bases[name] = al.array(elems * 8)
+	}
+	for li, l := range spec.Loops {
+		if l.Elems <= 0 {
+			return nil, fmt.Errorf("workload: loop %d (%s) has %d elements", li, l.Label, l.Elems)
+		}
+		if len(l.Ops) == 0 {
+			return nil, fmt.Errorf("workload: loop %d (%s) has no ops", li, l.Label)
+		}
+		for oi, op := range l.Ops {
+			if err := validateOp(spec, l, op); err != nil {
+				return nil, fmt.Errorf("workload: loop %d (%s) op %d: %w", li, l.Label, oi, err)
+			}
+		}
+	}
+	return &Custom{spec: spec, bases: bases, foot: al.used()}, nil
+}
+
+func validateOp(spec CustomKernel, l CustomLoop, op CustomOp) error {
+	checkReg := func(r int) error {
+		if r < 0 || r >= customRegs {
+			return fmt.Errorf("register %d outside the %d-register window", r, customRegs)
+		}
+		return nil
+	}
+	switch op.Kind {
+	case OpLoad, OpStore:
+		elems, ok := spec.Arrays[op.Array]
+		if !ok {
+			return fmt.Errorf("unknown array %q", op.Array)
+		}
+		stride := op.StrideElems
+		if stride == 0 {
+			stride = 1
+		}
+		// The furthest iteration must stay inside the array.
+		last := op.OffsetElems + (l.Elems-1)*stride
+		if op.OffsetElems < 0 || last < 0 || last >= elems {
+			return fmt.Errorf("access runs to element %d of array %q (%d elements)", last, op.Array, elems)
+		}
+		if op.Kind == OpLoad {
+			return checkReg(op.Dst)
+		}
+		if len(op.Srcs) != 1 {
+			return fmt.Errorf("store needs exactly one source register")
+		}
+		return checkReg(op.Srcs[0])
+	case OpAdd, OpMul, OpFMA, OpDiv:
+		if err := checkReg(op.Dst); err != nil {
+			return err
+		}
+		want := 2
+		if op.Kind == OpFMA {
+			want = 3
+		}
+		if op.Serial {
+			want--
+		}
+		if len(op.Srcs) != want {
+			return fmt.Errorf("%s needs %d sources, got %d", op.Kind, want, len(op.Srcs))
+		}
+		for _, s := range op.Srcs {
+			if err := checkReg(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown op kind %d", op.Kind)
+	}
+}
+
+// Name implements Workload.
+func (c *Custom) Name() string { return c.spec.Name }
+
+// Footprint implements Workload.
+func (c *Custom) Footprint() int64 { return c.foot }
+
+// Spec returns the kernel description.
+func (c *Custom) Spec() CustomKernel { return c.spec }
+
+// groupFor maps an arithmetic op onto an execution group.
+func groupFor(k OpKind, vector bool) isa.Group {
+	switch k {
+	case OpAdd:
+		if vector {
+			return isa.SVEAdd
+		}
+		return isa.FPAdd
+	case OpMul:
+		if vector {
+			return isa.SVEMul
+		}
+		return isa.FPMul
+	case OpFMA:
+		if vector {
+			return isa.SVEFMA
+		}
+		return isa.FPFMA
+	default:
+		if vector {
+			return isa.SVEDiv
+		}
+		return isa.FPDiv
+	}
+}
+
+// Program implements Workload.
+func (c *Custom) Program(vl int) (*Program, error) {
+	if err := CheckVL(vl); err != nil {
+		return nil, err
+	}
+	epv := int64(vl / 64)
+	loops := make([]Loop, 0, len(c.spec.Loops))
+	for _, l := range c.spec.Loops {
+		b := NewBody()
+		reg := func(i int) isa.Reg { return isa.R(isa.FP, 8+i) } // v8..v23 window
+		elemBytes := int64(8)
+		accessBytes := uint32(8)
+		strideUnit := int64(8)
+		iters := l.Elems
+		if l.Vector {
+			accessBytes = uint32(vl / 8)
+			strideUnit = int64(epv * 8)
+			iters = ceilDiv(l.Elems, epv)
+		}
+		for _, op := range l.Ops {
+			stride := op.StrideElems
+			if stride == 0 {
+				stride = 1
+			}
+			switch op.Kind {
+			case OpLoad:
+				base := c.bases[op.Array] + uint64(op.OffsetElems*elemBytes)
+				b.Load(reg(op.Dst), l.Vector, Flat(base, stride*strideUnit, accessBytes))
+			case OpStore:
+				base := c.bases[op.Array] + uint64(op.OffsetElems*elemBytes)
+				b.Store(reg(op.Srcs[0]), l.Vector, Flat(base, stride*strideUnit, accessBytes))
+			default:
+				srcs := make([]isa.Reg, 0, 3)
+				for _, s := range op.Srcs {
+					srcs = append(srcs, reg(s))
+				}
+				if op.Serial {
+					srcs = append(srcs, reg(op.Dst))
+				}
+				b.Op(groupFor(op.Kind, l.Vector), l.Vector, reg(op.Dst), srcs...)
+			}
+		}
+		if l.Vector {
+			b.SVELoopEnd()
+		} else {
+			b.ScalarLoopEnd()
+		}
+		loops = append(loops, b.Loop(l.Label, iters))
+	}
+	return BuildProgram(CodeBase, c.spec.Repeat, loops...)
+}
+
+// Validate implements Workload: custom kernels have no functional reference,
+// so validation checks the structural invariants — the program builds at
+// every vector length and its dynamic size matches the spec.
+func (c *Custom) Validate() error {
+	for _, vl := range []int{MinVL, MaxVL} {
+		p, err := c.Program(vl)
+		if err != nil {
+			return fmt.Errorf("workload: custom kernel %q at VL %d: %w", c.spec.Name, vl, err)
+		}
+		if p.DynamicInsts() <= 0 {
+			return fmt.Errorf("workload: custom kernel %q is empty at VL %d", c.spec.Name, vl)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"armdse/internal/isa"
+)
+
+// daxpySpec is the canonical custom kernel: y = a*x + y, vectorised.
+func daxpySpec(n int64) CustomKernel {
+	return CustomKernel{
+		Name:   "daxpy",
+		Arrays: map[string]int64{"x": n, "y": n},
+		Loops: []CustomLoop{{
+			Label:  "daxpy",
+			Elems:  n,
+			Vector: true,
+			Ops: []CustomOp{
+				{Kind: OpLoad, Array: "x", Dst: 0},
+				{Kind: OpLoad, Array: "y", Dst: 1},
+				{Kind: OpFMA, Dst: 2, Srcs: []int{0, 1, 3}},
+				{Kind: OpStore, Array: "y", Srcs: []int{2}},
+			},
+		}},
+	}
+}
+
+func TestCustomDaxpy(t *testing.T) {
+	c, err := NewCustom(daxpySpec(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "daxpy" {
+		t.Errorf("name = %s", c.Name())
+	}
+	if c.Footprint() < 2*1024*8 {
+		t.Errorf("footprint = %d", c.Footprint())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Vector-length agnosticism: trip count divides by elements/vector.
+	p128, err := c.Program(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2048, err := c.Program(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p128.DynamicInsts() != 16*p2048.DynamicInsts() {
+		t.Errorf("VL scaling: %d vs %d insts", p128.DynamicInsts(), p2048.DynamicInsts())
+	}
+	// Body: 4 ops + 3 loop-control instructions.
+	if got := len(p128.Loops[0].Body); got != 7 {
+		t.Errorf("body = %d instructions, want 7", got)
+	}
+	// SVE accesses are one vector wide.
+	if b := p2048.Loops[0].Body[0].Pat.Bytes; b != 256 {
+		t.Errorf("vector load width = %d, want 256", b)
+	}
+	// The generated stream is heavily vectorised.
+	pct, err := VectorisationPct(c, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pct < 40 {
+		t.Errorf("vectorisation = %.1f%%", pct)
+	}
+}
+
+func TestCustomScalarLoopAndReduction(t *testing.T) {
+	c, err := NewCustom(CustomKernel{
+		Name:   "dot",
+		Arrays: map[string]int64{"x": 256, "y": 256},
+		Repeat: 2,
+		Loops: []CustomLoop{{
+			Label: "dot",
+			Elems: 256,
+			Ops: []CustomOp{
+				{Kind: OpLoad, Array: "x", Dst: 0},
+				{Kind: OpLoad, Array: "y", Dst: 1},
+				{Kind: OpFMA, Dst: 2, Srcs: []int{0, 1}, Serial: true},
+			},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Program(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scalar loop: trip count is element count regardless of VL.
+	if p.Loops[0].Iters != 256 {
+		t.Errorf("iters = %d", p.Loops[0].Iters)
+	}
+	if p.Repeat != 2 {
+		t.Errorf("repeat = %d", p.Repeat)
+	}
+	// The reduction op has its dest among its sources (serial chain).
+	fma := p.Loops[0].Body[2].Inst
+	found := false
+	for _, s := range fma.SrcRegs() {
+		if s == fma.Dests[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("serial reduction lost its chain dependency")
+	}
+	// Scalar loops emit scalar FP groups.
+	if fma.Op != isa.FPFMA || fma.SVE {
+		t.Errorf("scalar loop op = %v sve=%v", fma.Op, fma.SVE)
+	}
+}
+
+func TestCustomStencilOffsets(t *testing.T) {
+	c, err := NewCustom(CustomKernel{
+		Name:   "stencil",
+		Arrays: map[string]int64{"u": 1000, "w": 1000},
+		Loops: []CustomLoop{{
+			Label: "stencil",
+			Elems: 998,
+			Ops: []CustomOp{
+				{Kind: OpLoad, Array: "u", Dst: 0, OffsetElems: 0},
+				{Kind: OpLoad, Array: "u", Dst: 1, OffsetElems: 1},
+				{Kind: OpLoad, Array: "u", Dst: 2, OffsetElems: 2},
+				{Kind: OpAdd, Dst: 3, Srcs: []int{0, 1}},
+				{Kind: OpAdd, Dst: 3, Srcs: []int{3, 2}},
+				{Kind: OpStore, Array: "w", Srcs: []int{3}, OffsetElems: 1},
+			},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Program(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neighbour offsets land 8 bytes apart.
+	b := p.Loops[0].Body
+	if b[1].Pat.Base-b[0].Pat.Base != 8 || b[2].Pat.Base-b[1].Pat.Base != 8 {
+		t.Error("stencil offsets wrong")
+	}
+}
+
+func TestCustomRunsOnSimulator(t *testing.T) {
+	c, err := NewCustom(daxpySpec(2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := StreamFor(c, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := isa.Count(s); n <= 0 {
+		t.Fatal("empty stream")
+	}
+	// Addresses stay inside the data segment.
+	var in isa.Inst
+	s.Reset()
+	hi := uint64(DataBase) + uint64(c.Footprint())
+	for s.Next(&in) {
+		if in.Op.IsMem() && (in.Mem.Addr < DataBase || in.Mem.Addr+uint64(in.Mem.Bytes) > hi) {
+			t.Fatalf("access %#x outside data", in.Mem.Addr)
+		}
+	}
+}
+
+func TestCustomValidationErrors(t *testing.T) {
+	base := daxpySpec(64)
+	cases := []struct {
+		name   string
+		mutate func(*CustomKernel)
+		frag   string
+	}{
+		{"no name", func(k *CustomKernel) { k.Name = "" }, "name"},
+		{"no loops", func(k *CustomKernel) { k.Loops = nil }, "no loops"},
+		{"negative repeat", func(k *CustomKernel) { k.Repeat = -1 }, "repeat"},
+		{"empty array", func(k *CustomKernel) { k.Arrays["x"] = 0 }, "elements"},
+		{"zero elems", func(k *CustomKernel) { k.Loops[0].Elems = 0 }, "elements"},
+		{"no ops", func(k *CustomKernel) { k.Loops[0].Ops = nil }, "no ops"},
+		{"unknown array", func(k *CustomKernel) { k.Loops[0].Ops[0].Array = "z" }, "unknown array"},
+		{"out of bounds", func(k *CustomKernel) { k.Loops[0].Ops[0].StrideElems = 100 }, "runs to element"},
+		{"bad register", func(k *CustomKernel) { k.Loops[0].Ops[0].Dst = 99 }, "register"},
+		{"store sources", func(k *CustomKernel) { k.Loops[0].Ops[3].Srcs = nil }, "one source"},
+		{"fma sources", func(k *CustomKernel) { k.Loops[0].Ops[2].Srcs = []int{0} }, "sources"},
+	}
+	for _, c := range cases {
+		spec := daxpySpec(64)
+		_ = base
+		c.mutate(&spec)
+		_, err := NewCustom(spec)
+		if err == nil {
+			t.Errorf("%s accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for k, want := range map[OpKind]string{
+		OpLoad: "load", OpStore: "store", OpAdd: "add",
+		OpMul: "mul", OpFMA: "fma", OpDiv: "div",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if OpKind(99).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}

@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"armdse/internal/isa"
+)
+
+// MiniBUDEInputs mirrors Table IV's miniBUDE row: the bm1 deck with a given
+// number of protein atoms and poses, run for Iterations passes. Repeats is an
+// additional whole-kernel multiplier used to scale dynamic work (the real bm1
+// deck also iterates over ligand atoms, which this synthetic kernel folds
+// into repeats; documented substitution).
+type MiniBUDEInputs struct {
+	Atoms      int64
+	Poses      int64
+	Iterations int64
+	Repeats    int64
+}
+
+// PaperMiniBUDEInputs returns Table IV's values: bm1, 26 atoms, 64 poses,
+// 1 iteration.
+func PaperMiniBUDEInputs() MiniBUDEInputs {
+	return MiniBUDEInputs{Atoms: 26, Poses: 64, Iterations: 1, Repeats: 16}
+}
+
+// TestMiniBUDEInputs returns a scaled configuration for tests and benches.
+func TestMiniBUDEInputs() MiniBUDEInputs {
+	return MiniBUDEInputs{Atoms: 26, Poses: 64, Iterations: 1, Repeats: 2}
+}
+
+// MiniBUDE models the BUDE virtual-screening kernel: for every ligand pose it
+// accumulates an interaction energy against every protein atom. It is the
+// study's compute-bound, highly vectorised application — vectorised across
+// poses, with a small (L1-resident) data footprint and abundant FP work per
+// byte loaded.
+type MiniBUDE struct {
+	in MiniBUDEInputs
+
+	protein  uint64 // natoms records of 32 bytes
+	poses    uint64 // 3 × poses float64 (transformed coordinates)
+	energies uint64 // poses float64
+	foot     int64
+}
+
+// NewMiniBUDE builds the miniBUDE workload.
+func NewMiniBUDE(in MiniBUDEInputs) *MiniBUDE {
+	al := newAlloc()
+	m := &MiniBUDE{in: in}
+	m.protein = al.array(in.Atoms * 32)
+	m.poses = al.array(in.Poses * 3 * 8)
+	m.energies = al.array(in.Poses * 8)
+	m.foot = al.used()
+	return m
+}
+
+// Name implements Workload.
+func (m *MiniBUDE) Name() string { return NameMiniBUDE }
+
+// Footprint implements Workload.
+func (m *MiniBUDE) Footprint() int64 { return m.foot }
+
+// Inputs returns the constructor inputs.
+func (m *MiniBUDE) Inputs() MiniBUDEInputs { return m.in }
+
+// Program implements Workload. The fasten kernel is flattened into a single
+// loop over (pose-block × atom): each iteration loads one protein atom record
+// (two scalar loads) and performs ~22 vector operations on a block of vl/64
+// poses held in Z registers; a second loop reduces and stores the per-pose
+// energies. Pose coordinates are modelled as register-resident across the
+// atom loop, as the real kernel keeps them after its per-block preamble.
+func (m *MiniBUDE) Program(vl int) (*Program, error) {
+	if err := CheckVL(vl); err != nil {
+		return nil, err
+	}
+	if m.in.Atoms <= 0 || m.in.Poses <= 0 || m.in.Iterations <= 0 || m.in.Repeats <= 0 {
+		return nil, fmt.Errorf("miniBUDE: non-positive inputs %+v", m.in)
+	}
+	epv := int64(vl / 64)
+	blocks := ceilDiv(m.in.Poses, epv)
+	vb := uint32(vl / 8)
+
+	// Scalar protein-atom record fields (D-register loads, not SVE).
+	d1, d2 := isa.R(isa.FP, 1), isa.R(isa.FP, 2)
+	// Pose-block coordinates, register-resident.
+	px, py, pz := isa.R(isa.FP, 4), isa.R(isa.FP, 5), isa.R(isa.FP, 6)
+	// Temporaries.
+	t := func(i int) isa.Reg { return isa.R(isa.FP, 10+i) }
+	// Energy accumulators: four independent chains for cross-iteration ILP.
+	acc := [4]isa.Reg{isa.R(isa.FP, 24), isa.R(isa.FP, 25), isa.R(isa.FP, 26), isa.R(isa.FP, 27)}
+
+	fasten := NewBody()
+	// Protein atom record: position triple and charge/type parameters.
+	fasten.Load(d1, false, Nested(m.protein, m.in.Atoms, 32, 0, 16))
+	fasten.Load(d2, false, Nested(m.protein+16, m.in.Atoms, 32, 0, 16))
+	// Distance vector components (broadcast-subtract of the scalar atom
+	// coordinate from the pose-block coordinates).
+	fasten.Op(isa.SVEAdd, true, t(0), px, d1)
+	fasten.Op(isa.SVEAdd, true, t(1), py, d1)
+	fasten.Op(isa.SVEAdd, true, t(2), pz, d2)
+	// r² = dx² + dy² + dz²
+	fasten.Op(isa.SVEMul, true, t(3), t(0), t(0))
+	fasten.Op(isa.SVEFMA, true, t(3), t(1), t(1), t(3))
+	fasten.Op(isa.SVEFMA, true, t(3), t(2), t(2), t(3))
+	// Distance-dependent dielectric and surface terms (polynomial
+	// approximations, as the real kernel's branch-free select chains).
+	fasten.Op(isa.SVEMul, true, t(4), t(3), d2)
+	fasten.Op(isa.SVEFMA, true, t(4), t(4), t(3), d1)
+	fasten.Op(isa.SVEMul, true, t(5), t(4), t(4))
+	fasten.Op(isa.SVEFMA, true, t(5), t(5), t(4), d2)
+	fasten.Op(isa.SVEAdd, true, t(6), t(5), t(3))
+	fasten.Op(isa.SVEMul, true, t(7), t(6), t(4))
+	// Electrostatic term.
+	fasten.Op(isa.SVEMul, true, t(8), t(3), d1)
+	fasten.Op(isa.SVEFMA, true, t(8), t(8), t(6), d2)
+	fasten.Op(isa.SVEAdd, true, t(9), t(8), t(7))
+	fasten.Op(isa.SVEMul, true, t(10), t(9), t(5))
+	fasten.Op(isa.SVEFMA, true, t(10), t(10), t(9), t(6))
+	// Accumulate into four chains.
+	fasten.Op(isa.SVEFMA, true, acc[0], t(7), t(4), acc[0])
+	fasten.Op(isa.SVEFMA, true, acc[1], t(8), t(5), acc[1])
+	fasten.Op(isa.SVEFMA, true, acc[2], t(9), t(6), acc[2])
+	fasten.Op(isa.SVEFMA, true, acc[3], t(10), t(3), acc[3])
+	fasten.ScalarLoopEnd()
+
+	// Per-block reduction and energy store.
+	reduce := NewBody()
+	r0, r1, r2 := isa.R(isa.FP, 28), isa.R(isa.FP, 29), isa.R(isa.FP, 30)
+	reduce.Op(isa.SVEAdd, true, r0, acc[0], acc[1])
+	reduce.Op(isa.SVEAdd, true, r1, acc[2], acc[3])
+	reduce.Op(isa.SVEAdd, true, r2, r0, r1)
+	reduce.Store(r2, true, Flat(m.energies, int64(vb), vb))
+	reduce.SVELoopEnd()
+
+	return BuildProgram(CodeBase, m.in.Iterations*m.in.Repeats,
+		fasten.Loop("fasten", blocks*m.in.Atoms),
+		reduce.Loop("reduce", blocks),
+	)
+}
+
+// budeAtom is a protein atom of the reference kernel.
+type budeAtom struct{ x, y, z, charge, radius float64 }
+
+// budeDeck deterministically synthesises the bm1-like deck: atom positions
+// and charges, and pose displacements. No RNG state is shared with the
+// simulator; the deck is a pure function of the inputs.
+func (m *MiniBUDE) budeDeck() ([]budeAtom, [][3]float64) {
+	atoms := make([]budeAtom, m.in.Atoms)
+	for i := range atoms {
+		fi := float64(i)
+		atoms[i] = budeAtom{
+			x:      math.Sin(fi*0.7) * 8,
+			y:      math.Cos(fi*1.3) * 8,
+			z:      math.Sin(fi*2.1+1) * 8,
+			charge: math.Cos(fi * 0.9),
+			radius: 1.2 + 0.4*math.Sin(fi*1.7),
+		}
+	}
+	poses := make([][3]float64, m.in.Poses)
+	for p := range poses {
+		fp := float64(p)
+		poses[p] = [3]float64{
+			math.Sin(fp*0.31) * 4,
+			math.Cos(fp*0.57) * 4,
+			math.Sin(fp*0.83+2) * 4,
+		}
+	}
+	return atoms, poses
+}
+
+// budeEnergy is the reference per-pose/atom interaction energy: a softened
+// Lennard-Jones-plus-electrostatic form matching the kernel's operation mix.
+func budeEnergy(a budeAtom, pose [3]float64) float64 {
+	dx, dy, dz := pose[0]-a.x, pose[1]-a.y, pose[2]-a.z
+	r2 := dx*dx + dy*dy + dz*dz + 0.5 // softening keeps energies finite
+	s := a.radius * a.radius / r2
+	steric := s*s*s - s
+	elec := a.charge / r2
+	return steric + elec
+}
+
+// Validate implements Workload: the pose-major and atom-major summation
+// orders must agree (the blocked kernel vs the naive reference), and all
+// energies must be finite.
+func (m *MiniBUDE) Validate() error {
+	if m.in.Atoms <= 0 || m.in.Poses <= 0 {
+		return fmt.Errorf("miniBUDE: non-positive inputs %+v", m.in)
+	}
+	atoms, poses := m.budeDeck()
+
+	poseMajor := make([]float64, len(poses))
+	for p, pose := range poses {
+		for _, a := range atoms {
+			poseMajor[p] += budeEnergy(a, pose)
+		}
+	}
+	atomMajor := make([]float64, len(poses))
+	for _, a := range atoms {
+		for p, pose := range poses {
+			atomMajor[p] += budeEnergy(a, pose)
+		}
+	}
+	for p := range poses {
+		if math.IsNaN(poseMajor[p]) || math.IsInf(poseMajor[p], 0) {
+			return fmt.Errorf("miniBUDE validation: non-finite energy for pose %d", p)
+		}
+		if diff := math.Abs(poseMajor[p] - atomMajor[p]); diff > 1e-9*(1+math.Abs(poseMajor[p])) {
+			return fmt.Errorf("miniBUDE validation: pose %d energies disagree: %g vs %g",
+				p, poseMajor[p], atomMajor[p])
+		}
+	}
+	return nil
+}

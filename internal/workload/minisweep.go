@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"armdse/internal/isa"
+)
+
+// MiniSweepInputs mirrors Table IV's MiniSweep row: a deterministic Sn
+// radiation-transport sweep over an NX×NY×NZ gridcell block with Angles
+// angles per octant direction, Groups energy groups, and Sweeps sweep
+// iterations (the Z dimension is tiled by one block, as in the paper).
+type MiniSweepInputs struct {
+	NX, NY, NZ int64
+	Angles     int64
+	Groups     int64
+	Sweeps     int64
+}
+
+// PaperMiniSweepInputs returns Table IV's values: 4×4×4 cells, 32 angles per
+// octant, one sweep iteration.
+func PaperMiniSweepInputs() MiniSweepInputs {
+	return MiniSweepInputs{NX: 4, NY: 4, NZ: 4, Angles: 32, Groups: 1, Sweeps: 1}
+}
+
+// TestMiniSweepInputs returns a scaled configuration for tests and benches.
+func TestMiniSweepInputs() MiniSweepInputs {
+	return MiniSweepInputs{NX: 4, NY: 4, NZ: 4, Angles: 8, Groups: 1, Sweeps: 1}
+}
+
+// MiniSweep models the deterministic radiation-transport sweep mini-app. On a
+// single core it is compute bound (§V-B cites its relatively high arithmetic
+// intensity), and like TeaLeaf the compiler fails to vectorise it, so its
+// stream is scalar and its vector-length sensitivity should be negligible.
+type MiniSweep struct {
+	in MiniSweepInputs
+
+	psiIn, psiOut, faceX, faceY, faceZ, vols uint64
+	foot                                     int64
+}
+
+// NewMiniSweep builds the MiniSweep workload.
+func NewMiniSweep(in MiniSweepInputs) *MiniSweep {
+	al := newAlloc()
+	m := &MiniSweep{in: in}
+	cells := in.NX * in.NY * in.NZ
+	per := cells * in.Angles * in.Groups * 8
+	m.psiIn = al.array(per)
+	m.psiOut = al.array(per)
+	m.faceX = al.array(in.NY * in.NZ * in.Angles * 8)
+	m.faceY = al.array(in.NX * in.NZ * in.Angles * 8)
+	m.faceZ = al.array(in.NX * in.NY * in.Angles * 8)
+	m.vols = al.array(cells * 8)
+	m.foot = al.used()
+	return m
+}
+
+// Name implements Workload.
+func (m *MiniSweep) Name() string { return NameMiniSweep }
+
+// Footprint implements Workload.
+func (m *MiniSweep) Footprint() int64 { return m.foot }
+
+// Inputs returns the constructor inputs.
+func (m *MiniSweep) Inputs() MiniSweepInputs { return m.in }
+
+// Program implements Workload. Each octant is one flattened loop over
+// (cell × angle × group); per iteration the kernel loads the incoming flux
+// and the three upwind face fluxes, applies the diamond-difference update,
+// stores the three outgoing faces and the outgoing flux, and folds the
+// result into a serial accumulator — matching the real kernel's mix of ~9
+// flops against 4 loads/4 stores. Octants walk the cells in opposing
+// directions, flipping the face-array traversal sign.
+func (m *MiniSweep) Program(vl int) (*Program, error) {
+	if err := CheckVL(vl); err != nil {
+		return nil, err
+	}
+	if m.in.NX <= 0 || m.in.NY <= 0 || m.in.NZ <= 0 || m.in.Angles <= 0 || m.in.Groups <= 0 || m.in.Sweeps <= 0 {
+		return nil, fmt.Errorf("MiniSweep: non-positive inputs %+v", m.in)
+	}
+	cells := m.in.NX * m.in.NY * m.in.NZ
+	inner := m.in.Angles * m.in.Groups // per-cell work items
+	perOct := cells * inner
+
+	d := func(i int) isa.Reg { return isa.R(isa.FP, i) }
+	// Angle cosines and sigma are register-resident per octant.
+	mux, muy, muz, sigma := d(20), d(21), d(22), d(23)
+	acc := d(28)
+
+	loops := make([]Loop, 0, 8)
+	for oct := 0; oct < 8; oct++ {
+		// Octants 1,3,5,7 sweep the cell dimension backwards: their
+		// traversal starts at the last element and strides negatively.
+		dir := int64(1)
+		if oct%2 == 1 {
+			dir = -1
+		}
+		cellPat := func(arr uint64) MemPattern {
+			base := arr
+			if dir < 0 {
+				base += uint64((perOct - 1) * 8)
+			}
+			return Flat(base, dir*8, 8)
+		}
+		facePat := func(arr uint64) MemPattern {
+			// Faces are indexed by (transverse position, angle); the
+			// per-plane reuse shows up as the InnerN wrap.
+			base := arr
+			if dir < 0 {
+				base += uint64((inner - 1) * 8)
+			}
+			return Nested(base, inner, dir*8, 0, 8)
+		}
+
+		b := NewBody()
+		b.Load(d(1), false, cellPat(m.psiIn)) // incoming flux
+		b.Load(d(2), false, facePat(m.faceX)) // upwind X face
+		b.Load(d(3), false, facePat(m.faceY)) // upwind Y face
+		b.Load(d(4), false, facePat(m.faceZ)) // upwind Z face
+		// Diamond-difference numerator: q + mux*fx + muy*fy + muz*fz.
+		b.Op(isa.FPMul, false, d(10), d(2), mux)
+		b.Op(isa.FPFMA, false, d(10), d(3), muy, d(10))
+		b.Op(isa.FPFMA, false, d(10), d(4), muz, d(10))
+		b.Op(isa.FPAdd, false, d(10), d(10), d(1))
+		// psi = numerator * 1/(sigma + 2mux + 2muy + 2muz); the reciprocal
+		// is precomputed per octant, so this is a multiply.
+		b.Op(isa.FPMul, false, d(11), d(10), sigma)
+		// Outgoing faces: f' = 2*psi - f.
+		b.Op(isa.FPFMA, false, d(12), d(11), mux, d(2))
+		b.Op(isa.FPFMA, false, d(13), d(11), muy, d(3))
+		b.Op(isa.FPFMA, false, d(14), d(11), muz, d(4))
+		b.Op(isa.FPFMA, false, acc, d(11), mux, acc) // scalar flux fold
+		b.Store(d(12), false, facePat(m.faceX))
+		b.Store(d(13), false, facePat(m.faceY))
+		b.Store(d(14), false, facePat(m.faceZ))
+		b.Store(d(11), false, cellPat(m.psiOut))
+		b.ScalarLoopEnd()
+
+		loops = append(loops, b.Loop(fmt.Sprintf("octant%d", oct), perOct))
+	}
+	return BuildProgram(CodeBase, m.in.Sweeps, loops...)
+}
+
+// sweepRef runs the reference diamond-difference sweep for one octant
+// ordering and returns the final per-cell scalar flux. order must be a
+// permutation of the cell indices respecting the octant's upwind direction.
+func (m *MiniSweep) sweepRef(angleMajor bool) []float64 {
+	nx, ny, nz := int(m.in.NX), int(m.in.NY), int(m.in.NZ)
+	na := int(m.in.Angles)
+	cells := nx * ny * nz
+	flux := make([]float64, cells)
+	idx := func(x, y, z int) int { return (z*ny+y)*nx + x }
+
+	for oct := 0; oct < 8; oct++ {
+		sx, sy, sz := 1, 1, 1
+		if oct&1 != 0 {
+			sx = -1
+		}
+		if oct&2 != 0 {
+			sy = -1
+		}
+		if oct&4 != 0 {
+			sz = -1
+		}
+		run := func(a int) {
+			fa := float64(a + 1)
+			mux := 0.3 + 0.5*fa/float64(na)
+			muy := 0.2 + 0.4*fa/float64(na)
+			muz := 0.1 + 0.3*fa/float64(na)
+			sigma := 1.0 + 0.1*fa
+			denomInv := 1 / (sigma + 2*(mux+muy+muz))
+			faceX := make([]float64, ny*nz)
+			faceY := make([]float64, nx*nz)
+			faceZ := make([]float64, nx*ny)
+			for i := range faceX {
+				faceX[i] = 1
+			}
+			for i := range faceY {
+				faceY[i] = 1
+			}
+			for i := range faceZ {
+				faceZ[i] = 1
+			}
+			xs, ys, zs := 0, 0, 0
+			if sx < 0 {
+				xs = nx - 1
+			}
+			if sy < 0 {
+				ys = ny - 1
+			}
+			if sz < 0 {
+				zs = nz - 1
+			}
+			for kz, z := 0, zs; kz < nz; kz, z = kz+1, z+sz {
+				for ky, y := 0, ys; ky < ny; ky, y = ky+1, y+sy {
+					for kx, x := 0, xs; kx < nx; kx, x = kx+1, x+sx {
+						c := idx(x, y, z)
+						q := 1.0 + 0.01*float64(c)
+						fx := faceX[z*ny+y]
+						fy := faceY[z*nx+x]
+						fz := faceZ[y*nx+x]
+						psi := (q + mux*fx + muy*fy + muz*fz) * denomInv
+						faceX[z*ny+y] = 2*psi - fx
+						faceY[z*nx+x] = 2*psi - fy
+						faceZ[y*nx+x] = 2*psi - fz
+						flux[c] += mux * psi
+					}
+				}
+			}
+		}
+		if angleMajor {
+			for a := 0; a < na; a++ {
+				run(a)
+			}
+		} else {
+			// Same computation with the angle loop distributed; the
+			// per-angle state is independent so results must agree.
+			for a := na - 1; a >= 0; a-- {
+				run(a)
+			}
+		}
+	}
+	return flux
+}
+
+// Validate implements Workload: angle-major and reversed-angle evaluations of
+// the sweep must agree (per-angle state is independent), and the
+// scalar flux must be finite and positive, as transport physics requires.
+func (m *MiniSweep) Validate() error {
+	if m.in.NX <= 0 || m.in.NY <= 0 || m.in.NZ <= 0 {
+		return fmt.Errorf("MiniSweep: non-positive grid %+v", m.in)
+	}
+	f1 := m.sweepRef(true)
+	f2 := m.sweepRef(false)
+	for i := range f1 {
+		// The two orders commute the flux accumulation, so agreement is
+		// up to floating-point reassociation error.
+		if diff := math.Abs(f1[i] - f2[i]); diff > 1e-10*(1+math.Abs(f1[i])) {
+			return fmt.Errorf("MiniSweep validation: loop orders disagree at cell %d: %g vs %g", i, f1[i], f2[i])
+		}
+		if math.IsNaN(f1[i]) || math.IsInf(f1[i], 0) || f1[i] <= 0 {
+			return fmt.Errorf("MiniSweep validation: unphysical flux %g at cell %d", f1[i], i)
+		}
+	}
+	return nil
+}

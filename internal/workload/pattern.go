@@ -1,0 +1,57 @@
+// Package workload generates the dynamic instruction streams of the four HPC
+// codes the paper studies — STREAM, miniBUDE, TeaLeaf and MiniSweep — as
+// vector-length-agnostic programs: for a given application input, the stream
+// is a pure function of the SVE vector length alone, mirroring the paper's
+// -msve-vector-bits=scalable compilation. Every other micro-architectural
+// parameter must win performance through instruction-level parallelism, which
+// is the study's central "equivalent code execution" assumption (§IV-A).
+//
+// Each workload also carries a functional reference implementation in plain
+// Go; Validate runs it against analytically expected results, standing in for
+// the mini-apps' built-in validation that gates the paper's accepted runs.
+package workload
+
+// MemPattern computes the byte address of a templated memory access for a
+// given loop iteration. It supports flat strided traversals and two-level
+// (inner × outer) traversals, which is enough to express the row-major,
+// stencil-neighbour and wavefront access patterns of the four codes:
+//
+//	InnerN == 0: addr(i) = Base + i*StrideIn
+//	InnerN  > 0: addr(i) = Base + (i%InnerN)*StrideIn + (i/InnerN)*StrideOut
+type MemPattern struct {
+	// Base is the first-iteration byte address.
+	Base uint64
+	// Bytes is the access width (VL/8 for SVE accesses).
+	Bytes uint32
+	// StrideIn is the per-iteration (or per-inner-iteration) byte stride.
+	StrideIn int64
+	// InnerN, when positive, is the inner trip count of a flattened
+	// two-level loop.
+	InnerN int64
+	// StrideOut is the byte stride applied once per inner-loop wrap.
+	StrideOut int64
+}
+
+// Flat returns a single-level strided pattern.
+func Flat(base uint64, stride int64, bytes uint32) MemPattern {
+	return MemPattern{Base: base, StrideIn: stride, Bytes: bytes}
+}
+
+// Fixed returns a loop-invariant pattern (the same address every iteration).
+func Fixed(base uint64, bytes uint32) MemPattern {
+	return MemPattern{Base: base, Bytes: bytes}
+}
+
+// Nested returns a two-level pattern over a flattened loop nest with inner
+// trip count innerN.
+func Nested(base uint64, innerN, strideIn, strideOut int64, bytes uint32) MemPattern {
+	return MemPattern{Base: base, Bytes: bytes, StrideIn: strideIn, InnerN: innerN, StrideOut: strideOut}
+}
+
+// Addr returns the byte address for flattened iteration iter.
+func (p MemPattern) Addr(iter int64) uint64 {
+	if p.InnerN > 0 {
+		return uint64(int64(p.Base) + (iter%p.InnerN)*p.StrideIn + (iter/p.InnerN)*p.StrideOut)
+	}
+	return uint64(int64(p.Base) + iter*p.StrideIn)
+}

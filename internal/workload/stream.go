@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"armdse/internal/isa"
+)
+
+// STREAMInputs mirrors Table IV's STREAM row: a single-threaded OpenMP run
+// over arrays of ArraySize float64 elements, with Times passes over the four
+// kernels (Copy, Scale, Add, Triad).
+type STREAMInputs struct {
+	// ArraySize is the element count of each of the three arrays.
+	ArraySize int64
+	// Times is the number of passes over the four kernels.
+	Times int64
+}
+
+// PaperSTREAMInputs returns the paper's input: 200,000 elements (4.6 MiB
+// across the three arrays) with STREAM's standard NTIMES=10 kernel passes,
+// which also lands the ThunderX2 cycle count in the paper's Table I
+// magnitude (tens of millions of cycles).
+func PaperSTREAMInputs() STREAMInputs { return STREAMInputs{ArraySize: 200_000, Times: 10} }
+
+// TestSTREAMInputs returns a scaled input (25,000 elements, 600 KiB total)
+// that still straddles the study's L2 size range, so the L2-vs-RAM residency
+// crossover the paper highlights for STREAM survives the scaling.
+func TestSTREAMInputs() STREAMInputs { return STREAMInputs{ArraySize: 25_000, Times: 1} }
+
+// STREAM is McCalpin's sustained-memory-bandwidth benchmark: the archetypal
+// heavily memory-bound, perfectly vectorisable code of the study.
+type STREAM struct {
+	in STREAMInputs
+
+	a, b, c uint64 // array base addresses
+	foot    int64
+}
+
+// NewSTREAM builds the STREAM workload.
+func NewSTREAM(in STREAMInputs) *STREAM {
+	al := newAlloc()
+	bytes := in.ArraySize * 8
+	s := &STREAM{in: in}
+	s.a = al.array(bytes)
+	s.b = al.array(bytes)
+	s.c = al.array(bytes)
+	s.foot = al.used()
+	return s
+}
+
+// Name implements Workload.
+func (s *STREAM) Name() string { return NameSTREAM }
+
+// Footprint implements Workload.
+func (s *STREAM) Footprint() int64 { return s.foot }
+
+// Inputs returns the constructor inputs.
+func (s *STREAM) Inputs() STREAMInputs { return s.in }
+
+// scalar constant register (broadcast multiplier q) for Scale/Triad.
+var streamScalar = isa.R(isa.FP, 31)
+
+// Program implements Workload. Each kernel is one SVE vector-length-agnostic
+// loop; at vector length vl each iteration moves vl/8 bytes per access.
+func (s *STREAM) Program(vl int) (*Program, error) {
+	if err := CheckVL(vl); err != nil {
+		return nil, err
+	}
+	if s.in.ArraySize <= 0 || s.in.Times <= 0 {
+		return nil, fmt.Errorf("STREAM: non-positive inputs %+v", s.in)
+	}
+	epv := int64(vl / 64) // 64-bit elements per vector
+	iters := ceilDiv(s.in.ArraySize, epv)
+	vb := uint32(vl / 8)    // access bytes
+	stride := int64(vl / 8) // bytes per iteration
+
+	z0, z1, z2, z3 := isa.R(isa.FP, 0), isa.R(isa.FP, 1), isa.R(isa.FP, 2), isa.R(isa.FP, 3)
+
+	// Copy: c[j] = a[j]
+	copyB := NewBody()
+	copyB.Load(z1, true, Flat(s.a, stride, vb))
+	copyB.Store(z1, true, Flat(s.c, stride, vb))
+	copyB.SVELoopEnd()
+
+	// Scale: b[j] = q*c[j]
+	scaleB := NewBody()
+	scaleB.Load(z1, true, Flat(s.c, stride, vb))
+	scaleB.Op(isa.SVEMul, true, z2, z1, streamScalar)
+	scaleB.Store(z2, true, Flat(s.b, stride, vb))
+	scaleB.SVELoopEnd()
+
+	// Add: c[j] = a[j] + b[j]
+	addB := NewBody()
+	addB.Load(z1, true, Flat(s.a, stride, vb))
+	addB.Load(z2, true, Flat(s.b, stride, vb))
+	addB.Op(isa.SVEAdd, true, z3, z1, z2)
+	addB.Store(z3, true, Flat(s.c, stride, vb))
+	addB.SVELoopEnd()
+
+	// Triad: a[j] = b[j] + q*c[j]
+	triadB := NewBody()
+	triadB.Load(z1, true, Flat(s.b, stride, vb))
+	triadB.Load(z2, true, Flat(s.c, stride, vb))
+	triadB.Op(isa.SVEFMA, true, z0, z1, z2, streamScalar)
+	triadB.Store(z0, true, Flat(s.a, stride, vb))
+	triadB.SVELoopEnd()
+
+	return BuildProgram(CodeBase, s.in.Times,
+		copyB.Loop("copy", iters),
+		scaleB.Loop("scale", iters),
+		addB.Loop("add", iters),
+		triadB.Loop("triad", iters),
+	)
+}
+
+// Validate implements Workload: it runs the reference float64 kernels and
+// applies STREAM's standard solution check (closed-form expected values after
+// the kernel sequence).
+func (s *STREAM) Validate() error {
+	n := s.in.ArraySize
+	if n <= 0 {
+		return fmt.Errorf("STREAM: non-positive array size %d", n)
+	}
+	// Keep validation memory bounded; the check is input-size independent.
+	if n > 1_000_000 {
+		n = 1_000_000
+	}
+	const q = 3.0
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range a {
+		a[i], b[i], c[i] = 1.0, 2.0, 0.0
+	}
+	for t := int64(0); t < s.in.Times; t++ {
+		for i := range c {
+			c[i] = a[i]
+		}
+		for i := range b {
+			b[i] = q * c[i]
+		}
+		for i := range c {
+			c[i] = a[i] + b[i]
+		}
+		for i := range a {
+			a[i] = b[i] + q*c[i]
+		}
+	}
+	// Closed-form expectation, exactly as stream.c computes it.
+	ea, eb, ec := 1.0, 2.0, 0.0
+	for t := int64(0); t < s.in.Times; t++ {
+		ec = ea
+		eb = q * ec
+		ec = ea + eb
+		ea = eb + q*ec
+	}
+	for i := range a {
+		if math.Abs(a[i]-ea) > 1e-8 || math.Abs(b[i]-eb) > 1e-8 || math.Abs(c[i]-ec) > 1e-8 {
+			return fmt.Errorf("STREAM validation failed at %d: got (%g,%g,%g) want (%g,%g,%g)",
+				i, a[i], b[i], c[i], ea, eb, ec)
+		}
+	}
+	return nil
+}

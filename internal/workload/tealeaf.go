@@ -1,0 +1,427 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"armdse/internal/isa"
+)
+
+// TeaLeafInputs mirrors Table IV's TeaLeaf row: a 2D linear heat-conduction
+// solve on an NX×NY grid using a Conjugate Gradient solver, run for Steps
+// timesteps with CGIters solver iterations per step. The paper caps CG at
+// 10,000 iterations; real runs converge in a few tens, and the trace uses a
+// fixed representative count so that the instruction stream is deterministic.
+type TeaLeafInputs struct {
+	NX, NY  int64
+	Steps   int64
+	CGIters int64
+	// Dt is the timestep (Table IV: 0.004); only the functional reference
+	// uses it — the trace shape is independent of the value.
+	Dt float64
+	// Solver selects the iterative method, as the real mini-app's
+	// tea.in "tl_use_*" options do: SolverCG (the paper's Table IV
+	// choice and the default), SolverJacobi or SolverCheby.
+	Solver TeaLeafSolver
+}
+
+// TeaLeafSolver is the linear-solver family of a TeaLeaf run.
+type TeaLeafSolver uint8
+
+const (
+	// SolverCG is the conjugate-gradient solver the paper runs.
+	SolverCG TeaLeafSolver = iota
+	// SolverJacobi is the Jacobi iteration: no dot-product reductions, so
+	// every loop has independent iterations (more ILP, more traffic).
+	SolverJacobi
+	// SolverCheby is a Chebyshev iteration: matvec plus AXPYs with
+	// precomputed scalars, no reductions after the first step.
+	SolverCheby
+)
+
+// String returns the solver name as the mini-app's configuration spells it.
+func (s TeaLeafSolver) String() string {
+	switch s {
+	case SolverJacobi:
+		return "jacobi"
+	case SolverCheby:
+		return "cheby"
+	default:
+		return "cg"
+	}
+}
+
+// PaperTeaLeafInputs returns Table IV's values: 32×32 cells, 5 end steps,
+// dt 0.004, CG solver.
+func PaperTeaLeafInputs() TeaLeafInputs {
+	return TeaLeafInputs{NX: 32, NY: 32, Steps: 5, CGIters: 30, Dt: 0.004}
+}
+
+// TestTeaLeafInputs returns a scaled configuration for tests and benches.
+func TestTeaLeafInputs() TeaLeafInputs {
+	return TeaLeafInputs{NX: 16, NY: 16, Steps: 2, CGIters: 8, Dt: 0.004}
+}
+
+// TeaLeaf models the TeaLeaf heat-conduction mini-app: a memory-access-heavy
+// 5-point stencil CG solve that the Arm compiler fails to vectorise (§IV-A),
+// so its stream is almost entirely scalar and its performance is dominated by
+// cache latency — the paper finds L1 parameters top its importance ranking.
+type TeaLeaf struct {
+	in TeaLeafInputs
+
+	u, p, r, w, kx, ky uint64
+	foot               int64
+}
+
+// NewTeaLeaf builds the TeaLeaf workload.
+func NewTeaLeaf(in TeaLeafInputs) *TeaLeaf {
+	al := newAlloc()
+	t := &TeaLeaf{in: in}
+	bytes := in.NX * in.NY * 8
+	t.u = al.array(bytes)
+	t.p = al.array(bytes)
+	t.r = al.array(bytes)
+	t.w = al.array(bytes)
+	t.kx = al.array(bytes)
+	t.ky = al.array(bytes)
+	t.foot = al.used()
+	return t
+}
+
+// Name implements Workload.
+func (t *TeaLeaf) Name() string { return NameTeaLeaf }
+
+// Footprint implements Workload.
+func (t *TeaLeaf) Footprint() int64 { return t.foot }
+
+// Inputs returns the constructor inputs.
+func (t *TeaLeaf) Inputs() TeaLeafInputs { return t.in }
+
+// Program implements Workload. One timestep is one Repeat of the program:
+// an SVE-vectorised residual initialisation (the one trivial loop the
+// compiler does vectorise, keeping the Fig. 1 percentage small but non-zero)
+// followed by CGIters repetitions of the CG loop sequence
+// (matvec, dot, axpy, axpy, dot, p-update), all scalar.
+func (t *TeaLeaf) Program(vl int) (*Program, error) {
+	if err := CheckVL(vl); err != nil {
+		return nil, err
+	}
+	if t.in.NX < 3 || t.in.NY < 3 || t.in.Steps <= 0 || t.in.CGIters <= 0 {
+		return nil, fmt.Errorf("TeaLeaf: invalid inputs %+v", t.in)
+	}
+	cells := t.in.NX * t.in.NY
+	rowStride := t.in.NX * 8
+	epv := int64(vl / 64)
+	vb := uint32(vl / 8)
+
+	d := func(i int) isa.Reg { return isa.R(isa.FP, i) }
+	alphaReg, betaReg := d(30), d(31) // solver scalars, register-resident
+	accReg := d(29)                   // reduction accumulator
+
+	// init: r = u (vectorised copy; the compiler's one SVE success here).
+	initB := NewBody()
+	z1 := isa.R(isa.FP, 1)
+	initB.Load(z1, true, Flat(t.u, int64(vb), vb))
+	initB.Store(z1, true, Flat(t.r, int64(vb), vb))
+	initB.SVELoopEnd()
+
+	// matvec over interior cells:
+	// w[c] = (1+2kx+2ky)p[c] - kx(p[c-1]+p[c+1]) - ky(p[c-nx]+p[c+nx]).
+	// The iteration space is biased by one row plus one column so every
+	// neighbour access stays inside the array.
+	mvCells := (t.in.NX - 2) * (t.in.NY - 2)
+	center := t.p + uint64(rowStride) + 8
+	mv := NewBody()
+	mv.Load(d(1), false, Flat(center, 8, 8))                   // p center
+	mv.Load(d(2), false, Flat(center+8, 8, 8))                 // p east
+	mv.Load(d(3), false, Flat(center-8, 8, 8))                 // p west
+	mv.Load(d(4), false, Flat(center+uint64(rowStride), 8, 8)) // p north
+	mv.Load(d(5), false, Flat(center-uint64(rowStride), 8, 8)) // p south
+	mv.Load(d(6), false, Flat(t.kx+uint64(rowStride)+8, 8, 8))
+	mv.Load(d(7), false, Flat(t.ky+uint64(rowStride)+8, 8, 8))
+	mv.Op(isa.FPMul, false, d(10), d(1), d(6))
+	mv.Op(isa.FPFMA, false, d(10), d(2), d(6), d(10))
+	mv.Op(isa.FPFMA, false, d(10), d(3), d(6), d(10))
+	mv.Op(isa.FPFMA, false, d(10), d(4), d(7), d(10))
+	mv.Op(isa.FPFMA, false, d(10), d(5), d(7), d(10))
+	mv.Store(d(10), false, Flat(t.w+uint64(rowStride)+8, 8, 8))
+	mv.ScalarLoopEnd()
+
+	// dot(p, w) — serial FMA reduction chain, the low-ILP loop of the app.
+	dot1 := NewBody()
+	dot1.Load(d(1), false, Flat(t.p, 8, 8))
+	dot1.Load(d(2), false, Flat(t.w, 8, 8))
+	dot1.Op(isa.FPFMA, false, accReg, d(1), d(2), accReg)
+	dot1.ScalarLoopEnd()
+
+	// axpy: u += alpha*p
+	ax1 := NewBody()
+	ax1.Load(d(1), false, Flat(t.p, 8, 8))
+	ax1.Load(d(2), false, Flat(t.u, 8, 8))
+	ax1.Op(isa.FPFMA, false, d(3), d(1), alphaReg, d(2))
+	ax1.Store(d(3), false, Flat(t.u, 8, 8))
+	ax1.ScalarLoopEnd()
+
+	// axpy: r -= alpha*w
+	ax2 := NewBody()
+	ax2.Load(d(1), false, Flat(t.w, 8, 8))
+	ax2.Load(d(2), false, Flat(t.r, 8, 8))
+	ax2.Op(isa.FPFMA, false, d(3), d(1), alphaReg, d(2))
+	ax2.Store(d(3), false, Flat(t.r, 8, 8))
+	ax2.ScalarLoopEnd()
+
+	// dot(r, r)
+	dot2 := NewBody()
+	dot2.Load(d(1), false, Flat(t.r, 8, 8))
+	dot2.Op(isa.FPFMA, false, accReg, d(1), d(1), accReg)
+	dot2.ScalarLoopEnd()
+
+	// p = r + beta*p
+	pup := NewBody()
+	pup.Load(d(1), false, Flat(t.p, 8, 8))
+	pup.Load(d(2), false, Flat(t.r, 8, 8))
+	pup.Op(isa.FPFMA, false, d(3), d(1), betaReg, d(2))
+	pup.Store(d(3), false, Flat(t.p, 8, 8))
+	pup.ScalarLoopEnd()
+
+	// jacobi: u_new[c] = (u0[c] + kx*(u[w]+u[e]) + ky*(u[s]+u[n])) * rdiag
+	// — the same stencil traffic as matvec but with no reduction anywhere.
+	jb := NewBody()
+	jb.Load(d(1), false, Flat(center, 8, 8))
+	jb.Load(d(2), false, Flat(center+8, 8, 8))
+	jb.Load(d(3), false, Flat(center-8, 8, 8))
+	jb.Load(d(4), false, Flat(center+uint64(rowStride), 8, 8))
+	jb.Load(d(5), false, Flat(center-uint64(rowStride), 8, 8))
+	jb.Load(d(6), false, Flat(t.kx+uint64(rowStride)+8, 8, 8))
+	jb.Load(d(7), false, Flat(t.ky+uint64(rowStride)+8, 8, 8))
+	jb.Load(d(8), false, Flat(t.u+uint64(rowStride)+8, 8, 8))
+	jb.Op(isa.FPAdd, false, d(10), d(2), d(3))
+	jb.Op(isa.FPMul, false, d(10), d(10), d(6))
+	jb.Op(isa.FPFMA, false, d(10), d(4), d(7), d(10))
+	jb.Op(isa.FPFMA, false, d(10), d(5), d(7), d(10))
+	jb.Op(isa.FPAdd, false, d(10), d(10), d(8))
+	jb.Op(isa.FPMul, false, d(11), d(10), alphaReg) // * reciprocal diagonal
+	jb.Store(d(11), false, Flat(t.w+uint64(rowStride)+8, 8, 8))
+	jb.ScalarLoopEnd()
+
+	// jacobi pointer swap stands in as a copy: u = u_new.
+	jc := NewBody()
+	jc.Load(d(1), false, Flat(t.w, 8, 8))
+	jc.Store(d(1), false, Flat(t.p, 8, 8))
+	jc.ScalarLoopEnd()
+
+	loops := []Loop{initB.Loop("init", ceilDiv(cells, epv))}
+	for it := int64(0); it < t.in.CGIters; it++ {
+		switch t.in.Solver {
+		case SolverJacobi:
+			loops = append(loops,
+				jb.Loop("jacobi", mvCells),
+				jc.Loop("jacobi_copy", cells),
+			)
+		case SolverCheby:
+			// Chebyshev: one reduction-free matvec plus two AXPYs with
+			// precomputed theta/sigma scalars.
+			loops = append(loops,
+				mv.Loop("matvec", mvCells),
+				ax1.Loop("cheby_u", cells),
+				ax2.Loop("cheby_r", cells),
+			)
+		default:
+			loops = append(loops,
+				mv.Loop("matvec", mvCells),
+				dot1.Loop("dot_pw", cells),
+				ax1.Loop("axpy_u", cells),
+				ax2.Loop("axpy_r", cells),
+				dot2.Loop("dot_rr", cells),
+				pup.Loop("p_update", cells),
+			)
+		}
+	}
+	// Each CG iteration replays the same six loop bodies. They are laid
+	// out at distinct PCs (compiled code would share one copy under an
+	// outer loop, but with no L1I model the only PC-sensitive structure is
+	// the innermost-loop buffer, which re-locks on re-entry either way).
+	return BuildProgram(CodeBase, t.in.Steps, loops...)
+}
+
+// Validate implements Workload: it runs an actual CG solve of the implicit
+// heat-conduction step on the reference grid and checks that the residual
+// norm is reduced and the converged solution satisfies the linear system.
+func (t *TeaLeaf) Validate() error {
+	nx, ny := int(t.in.NX), int(t.in.NY)
+	if nx < 3 || ny < 3 {
+		return fmt.Errorf("TeaLeaf: grid %dx%d too small", nx, ny)
+	}
+	n := nx * ny
+	idx := func(x, y int) int { return y*nx + x }
+
+	// Conductivities and initial field: the bm-style two-state region.
+	kx := make([]float64, n)
+	ky := make([]float64, n)
+	u := make([]float64, n)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			k := 1.0
+			if x < nx/2 && y < ny/2 {
+				k = 10.0 // the hot chimney region of the benchmark deck
+			}
+			kx[idx(x, y)] = k * t.in.Dt
+			ky[idx(x, y)] = k * t.in.Dt
+			u[idx(x, y)] = 0.1
+			if x > nx/4 && x < nx/2 && y > ny/4 && y < ny/2 {
+				u[idx(x, y)] = 10.0
+			}
+		}
+	}
+
+	// A·v for the implicit operator (I - div K grad) with insulated edges.
+	apply := func(v, out []float64) {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				c := idx(x, y)
+				diag := 1.0
+				var off float64
+				if x > 0 {
+					diag += kx[c]
+					off -= kx[c] * v[idx(x-1, y)]
+				}
+				if x < nx-1 {
+					diag += kx[idx(x+1, y)]
+					off -= kx[idx(x+1, y)] * v[idx(x+1, y)]
+				}
+				if y > 0 {
+					diag += ky[c]
+					off -= ky[c] * v[idx(x, y-1)]
+				}
+				if y < ny-1 {
+					diag += ky[idx(x, y+1)]
+					off -= ky[idx(x, y+1)] * v[idx(x, y+1)]
+				}
+				out[c] = diag*v[c] + off
+			}
+		}
+	}
+
+	dot := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			s += a[i] * b[i]
+		}
+		return s
+	}
+	_ = dot
+
+	if t.in.Solver == SolverJacobi {
+		return t.validateJacobi(nx, ny, kx, ky, u, apply, dot)
+	}
+	for step := int64(0); step < t.in.Steps; step++ {
+		b := make([]float64, n)
+		copy(b, u)
+		x := make([]float64, n)
+		copy(x, u)
+		r := make([]float64, n)
+		w := make([]float64, n)
+		apply(x, w)
+		for i := range r {
+			r[i] = b[i] - w[i]
+		}
+		p := make([]float64, n)
+		copy(p, r)
+		rr := dot(r, r)
+		rr0 := rr
+		for it := 0; it < 10_000 && rr > 1e-20*rr0 && rr > 1e-24; it++ {
+			apply(p, w)
+			alpha := rr / dot(p, w)
+			for i := range x {
+				x[i] += alpha * p[i]
+				r[i] -= alpha * w[i]
+			}
+			rrNew := dot(r, r)
+			beta := rrNew / rr
+			rr = rrNew
+			for i := range p {
+				p[i] = r[i] + beta*p[i]
+			}
+		}
+		if rr > 1e-12*rr0 {
+			return fmt.Errorf("TeaLeaf validation: CG failed to converge at step %d (rr %g of %g)", step, rr, rr0)
+		}
+		// Converged solution must satisfy the system.
+		apply(x, w)
+		for i := range w {
+			if math.Abs(w[i]-b[i]) > 1e-6*(1+math.Abs(b[i])) {
+				return fmt.Errorf("TeaLeaf validation: residual check failed at cell %d: %g vs %g", i, w[i], b[i])
+			}
+			if math.IsNaN(x[i]) {
+				return fmt.Errorf("TeaLeaf validation: NaN at cell %d", i)
+			}
+		}
+		u = x
+	}
+	return nil
+}
+
+// validateJacobi runs the reference Jacobi iteration on the implicit system
+// and checks that the residual shrinks monotonically-enough and the final
+// solution is physical. Jacobi converges for this diagonally dominant
+// operator, but far more slowly than CG, so the check is on progress rather
+// than full convergence.
+func (t *TeaLeaf) validateJacobi(nx, ny int, kx, ky, u []float64,
+	apply func(v, out []float64), dot func(a, b []float64) float64) error {
+	n := nx * ny
+	idx := func(x, y int) int { return y*nx + x }
+	b := make([]float64, n)
+	copy(b, u)
+	x := make([]float64, n)
+	copy(x, u)
+	xNew := make([]float64, n)
+	resid := func() float64 {
+		w := make([]float64, n)
+		apply(x, w)
+		var s float64
+		for i := range w {
+			d := w[i] - b[i]
+			s += d * d
+		}
+		return s
+	}
+	r0 := resid()
+	for it := 0; it < 500; it++ {
+		for yy := 0; yy < ny; yy++ {
+			for xx := 0; xx < nx; xx++ {
+				c := idx(xx, yy)
+				diag := 1.0
+				var off float64
+				if xx > 0 {
+					diag += kx[c]
+					off += kx[c] * x[idx(xx-1, yy)]
+				}
+				if xx < nx-1 {
+					diag += kx[idx(xx+1, yy)]
+					off += kx[idx(xx+1, yy)] * x[idx(xx+1, yy)]
+				}
+				if yy > 0 {
+					diag += ky[c]
+					off += ky[c] * x[idx(xx, yy-1)]
+				}
+				if yy < ny-1 {
+					diag += ky[idx(xx, yy+1)]
+					off += ky[idx(xx, yy+1)] * x[idx(xx, yy+1)]
+				}
+				xNew[c] = (b[c] + off) / diag
+			}
+		}
+		x, xNew = xNew, x
+	}
+	rEnd := resid()
+	if !(rEnd < r0*1e-3) {
+		return fmt.Errorf("TeaLeaf validation: Jacobi made no progress (residual %g -> %g)", r0, rEnd)
+	}
+	for i := range x {
+		if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+			return fmt.Errorf("TeaLeaf validation: Jacobi produced non-finite value at %d", i)
+		}
+	}
+	_ = dot
+	return nil
+}

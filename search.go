@@ -1,0 +1,48 @@
+package armdse
+
+import (
+	"armdse/internal/dtree"
+	"armdse/internal/search"
+)
+
+// Design-space search types (see internal/search).
+type (
+	// Objective scores a configuration; lower is better.
+	Objective = search.Objective
+	// SearchOptions configure SearchBest.
+	SearchOptions = search.Options
+	// SearchResult is the outcome of SearchBest.
+	SearchResult = search.Result
+	// Predictor is any trained model (Tree or Forest).
+	Predictor = dtree.Predictor
+)
+
+// SearchBest screens random design-space candidates against an objective and
+// hill-climbs the winner over the discrete parameter values, repairing the
+// paper's sampling constraints after each move — the surrogate-guided
+// optimisation loop the paper's introduction motivates.
+func SearchBest(obj Objective, opt SearchOptions) (SearchResult, error) {
+	return search.Best(obj, opt)
+}
+
+// SurrogateObjective builds an Objective from a trained surrogate.
+func SurrogateObjective(m Predictor) Objective { return search.SurrogateObjective(m) }
+
+// WeightedObjective combines per-application objectives with weights — the
+// multi-application co-design target.
+func WeightedObjective(objs []Objective, weights []float64) (Objective, error) {
+	return search.WeightedObjective(objs, weights)
+}
+
+// SaveSurrogate writes a trained tree to path as JSON.
+func SaveSurrogate(t *Tree, path string) error { return t.SaveFile(path) }
+
+// LoadSurrogate reads a tree written by SaveSurrogate.
+func LoadSurrogate(path string) (*Tree, error) { return dtree.LoadFile(path) }
+
+// PartialDependence computes a model's mean prediction as one feature (by
+// canonical column index) sweeps the given values, holding the dataset's
+// rows as background — the surrogate-side analogue of the paper's Figs. 6-8.
+func PartialDependence(m Predictor, d *Dataset, col int, values []float64) ([]float64, error) {
+	return dtree.PartialDependence(m, d.X, col, values)
+}
