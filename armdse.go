@@ -137,24 +137,81 @@ func FeatureNames() []string { return params.FeatureNames() }
 // sampling constraints, deterministically from seed.
 func SampleConfigs(seed int64, n int) []Config { return params.SampleN(seed, n) }
 
+// ConfigAt derives the index-th configuration of seed's sampling stream in
+// O(1), without materialising earlier configurations — the indexed config
+// source behind Collect's worker-count/shard/resume invariance.
+func ConfigAt(seed int64, index int) Config { return params.ConfigAt(seed, index) }
+
 // Simulate runs one workload on one configuration and returns the run
 // statistics.
 func Simulate(cfg Config, w Workload) (Stats, error) {
 	return orchestrate.RunOne(cfg, w)
 }
 
-// CollectOptions configure dataset collection; see orchestrate.Options.
-type CollectOptions = orchestrate.Options
+// SimulateLimited is Simulate under an explicit cycle budget (the same
+// protection Collect applies via CollectOptions.MaxCyclesPerRun);
+// maxCycles <= 0 uses the engine default.
+func SimulateLimited(cfg Config, w Workload, maxCycles int64) (Stats, error) {
+	return orchestrate.RunOneLimited(cfg, w, maxCycles)
+}
 
-// CollectResult is the outcome of a collection run.
-type CollectResult = orchestrate.Result
+// Collection engine types; see the orchestrate package for details.
+type (
+	// CollectOptions configure dataset collection.
+	CollectOptions = orchestrate.Options
+	// CollectResult is the outcome of a collection run.
+	CollectResult = orchestrate.Result
+	// ProgressEvent snapshots a running collection (done/failed/total,
+	// rows/sec, cycles simulated).
+	ProgressEvent = orchestrate.ProgressEvent
+	// Row is the outcome record of one collected configuration.
+	Row = orchestrate.Row
+	// RowSink consumes completed rows; implementations must be safe for
+	// concurrent use.
+	RowSink = orchestrate.RowSink
+	// StreamWriter journals completed rows to disk for interruption-safe
+	// streaming collection.
+	StreamWriter = dataset.StreamWriter
+)
 
-// Collect samples the design space and simulates every workload on each
-// configuration in parallel, returning the dataset (the paper's T1-T3
-// pipeline).
+// Collect simulates every workload on each of the design space's sampled
+// configurations in parallel, returning the dataset (the paper's T1-T3
+// pipeline). Identical seeds yield byte-identical datasets regardless of
+// Workers, sharding, or interruption/resume; on cancellation the partial
+// result is returned alongside ctx.Err().
 func Collect(ctx context.Context, opt CollectOptions) (CollectResult, error) {
 	return orchestrate.Collect(ctx, opt)
 }
+
+// CreateStream starts a fresh collection journal at path; pass the result
+// to NewStreamSink to stream rows to disk as they complete. A non-empty
+// meta string (e.g. "seed=1 samples=2000") is stamped into the journal
+// header and must match on ResumeStream.
+func CreateStream(path string, featureNames, apps []string, meta string) (*StreamWriter, error) {
+	return dataset.CreateStream(path, featureNames, apps, meta)
+}
+
+// ResumeStream reopens an interrupted collection journal; its Done set is
+// the CollectOptions.Skip input for a resumed run. It is an error to resume
+// a journal whose columns or meta string differ from this run's — that
+// would silently mix rows from two different sampling streams.
+func ResumeStream(path string, featureNames, apps []string, meta string) (*StreamWriter, error) {
+	return dataset.ResumeStream(path, featureNames, apps, meta)
+}
+
+// CompactStream materialises a collection journal as a dataset sorted by
+// global index, returning the number of failed (dropped) configurations.
+func CompactStream(path string) (*Dataset, int, error) {
+	return dataset.CompactStream(path)
+}
+
+// NewStreamSink adapts a journal writer to the collection engine's sink
+// interface.
+func NewStreamSink(w *StreamWriter) RowSink { return orchestrate.StreamSink{W: w} }
+
+// SuiteNames returns the application names of a workload suite — the
+// target columns of a collection over it.
+func SuiteNames(suite []Workload) []string { return orchestrate.SuiteNames(suite) }
 
 // LoadDataset reads a CSV dataset written by Dataset.SaveFile.
 func LoadDataset(path string) (*Dataset, error) { return dataset.LoadFile(path) }

@@ -3,18 +3,30 @@
 // collected cycle counts to CSV — the paper's run_xci.sh + collect_data.py
 // pipeline in one binary.
 //
+// Rows are journaled to <out>.journal as they complete, so an interrupted
+// run (Ctrl-C, node eviction) keeps everything already simulated and can be
+// restarted with -resume; the final CSV is byte-identical to an
+// uninterrupted run with the same seed, regardless of -workers. Large
+// collections can be split across machines with -shard i/n (one output file
+// per shard, same seed everywhere): the shards partition the same index
+// space, so their union equals the unsharded run.
+//
 // Usage:
 //
 //	dsegen -samples 2000 -seed 1 -out dataset.csv [-workers 16] [-paper]
+//	dsegen -samples 2000 -seed 1 -out dataset.csv -resume
+//	dsegen -samples 180006 -seed 1 -out shard3.csv -shard 3/8
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"armdse"
@@ -29,56 +41,138 @@ func main() {
 	}
 }
 
+// journalMeta identifies the dataset a journal belongs to, so -resume
+// refuses a journal from a run with a different seed, sample count, or
+// suite. Workers and shard are excluded: both may change across a resume
+// without affecting which rows the journal holds.
+func journalMeta(seed int64, samples int, paper bool) string {
+	return fmt.Sprintf("seed=%d samples=%d paper=%t", seed, samples, paper)
+}
+
+// parseShard parses "i/n" into (i, n).
+func parseShard(s string) (int, int, error) {
+	var i, n int
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil || n < 1 || i < 0 || i >= n ||
+		s != fmt.Sprintf("%d/%d", i, n) {
+		return 0, 0, fmt.Errorf("bad -shard %q, want i/n with 0 <= i < n", s)
+	}
+	return i, n, nil
+}
+
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("dsegen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
 		samples = fs.Int("samples", 2000, "number of design-space configurations to simulate")
 		seed    = fs.Int64("seed", 1, "sampling seed (identical seeds reproduce identical datasets)")
-		out     = fs.String("out", "dataset.csv", "output CSV path")
+		out     = fs.String("out", "dataset.csv", "output CSV path (rows journaled to <out>.journal while running)")
 		workers = fs.Int("workers", 0, "worker pool size (0 = all cores)")
 		paper   = fs.Bool("paper", false, "use the paper's Table IV inputs (1-5 minute runs each, as in the study)")
+		resume  = fs.Bool("resume", false, "resume an interrupted run from <out>.journal, skipping completed configs")
+		shard   = fs.String("shard", "", "collect only shard i/n of the index space (e.g. 3/8); union of shards = full run")
 		quiet   = fs.Bool("q", false, "suppress progress output")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *samples <= 0 {
+		return fmt.Errorf("samples %d <= 0", *samples)
+	}
+	// Validate the shard spec before the journal exists, so a typo does not
+	// leave a stray empty journal behind.
+	shardIndex, shardCount := 0, 0
+	if *shard != "" {
+		var err error
+		shardIndex, shardCount, err = parseShard(*shard)
+		if err != nil {
+			return err
+		}
 	}
 
 	suite := armdse.TestSuite()
 	if *paper {
 		suite = armdse.PaperSuite()
 	}
+	features := armdse.FeatureNames()
+	apps := armdse.SuiteNames(suite)
+	journal := *out + ".journal"
+	meta := journalMeta(*seed, *samples, *paper)
 
-	start := time.Now()
-	opt := armdse.CollectOptions{
-		Seed:     *seed,
-		Samples:  *samples,
-		Workers:  *workers,
-		Suite:    suite,
-		Validate: true,
-	}
-	if !*quiet {
-		opt.Progress = func(done, total int) {
-			if done%50 == 0 || done == total {
-				el := time.Since(start)
-				rate := float64(done) / el.Seconds()
-				eta := time.Duration(float64(total-done)/rate) * time.Second
-				fmt.Fprintf(stderr, "\r%d/%d configs (%.1f/s, eta %s)   ", done, total, rate, eta.Round(time.Second))
-			}
+	var sw *armdse.StreamWriter
+	var err error
+	if *resume {
+		sw, err = armdse.ResumeStream(journal, features, apps, meta)
+		if errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintf(stderr, "no journal at %s; starting fresh\n", journal)
+			sw, err = armdse.CreateStream(journal, features, apps, meta)
 		}
+	} else {
+		sw, err = armdse.CreateStream(journal, features, apps, meta)
 	}
-	res, err := armdse.Collect(ctx, opt)
 	if err != nil {
 		return err
 	}
+	skip := sw.Done()
+	if *resume && len(skip) > 0 && !*quiet {
+		fmt.Fprintf(stderr, "resuming: %d configs already journaled\n", len(skip))
+	}
+
+	start := time.Now()
+	opt := armdse.CollectOptions{
+		Seed:       *seed,
+		Samples:    *samples,
+		Workers:    *workers,
+		Suite:      suite,
+		Validate:   true,
+		Sink:       armdse.NewStreamSink(sw),
+		Skip:       func(i int) bool { return skip[i] },
+		ShardIndex: shardIndex,
+		ShardCount: shardCount,
+	}
+	if !*quiet {
+		opt.Progress = func(ev armdse.ProgressEvent) {
+			if ev.Done%50 == 0 || ev.Done == ev.Total {
+				eta := time.Duration(float64(ev.Total-ev.Done)/ev.RowsPerSec) * time.Second
+				fmt.Fprintf(stderr, "\r%d/%d configs (%.1f/s, %d failed, %.3g cycles, eta %s)   ",
+					ev.Done, ev.Total, ev.RowsPerSec, ev.Failed, float64(ev.Cycles), eta.Round(time.Second))
+			}
+		}
+	}
+
+	res, collectErr := armdse.Collect(ctx, opt)
 	if !*quiet {
 		fmt.Fprintln(stderr)
 	}
-	if err := res.Data.SaveFile(*out); err != nil {
+	if err := sw.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "wrote %s: %d rows x %d features (+%d app targets), %d failed configs, %s\n",
-		*out, res.Data.Len(), res.Data.NumFeatures(), len(res.Data.Apps), res.Failed,
-		time.Since(start).Round(time.Second))
+	if collectErr != nil {
+		if errors.Is(collectErr, context.Canceled) {
+			fmt.Fprintf(stderr, "interrupted: %d configs this run (%d total) journaled in %s; rerun with -resume to continue\n",
+				res.Done, sw.Len(), journal)
+		}
+		return collectErr
+	}
+
+	data, failed, err := armdse.CompactStream(journal)
+	if err != nil {
+		return err
+	}
+	if data.Len() == 0 {
+		return fmt.Errorf("every configuration failed; journal kept at %s", journal)
+	}
+	if err := data.SaveFile(*out); err != nil {
+		return err
+	}
+	if err := os.Remove(journal); err != nil {
+		return err
+	}
+	shardNote := ""
+	if *shard != "" {
+		shardNote = fmt.Sprintf(" [shard %s]", strings.TrimSpace(*shard))
+	}
+	fmt.Fprintf(stdout, "wrote %s: %d rows x %d features (+%d app targets), %d failed configs, %s%s\n",
+		*out, data.Len(), data.NumFeatures(), len(data.Apps), failed,
+		time.Since(start).Round(time.Second), shardNote)
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -29,6 +30,9 @@ func TestRunGeneratesCSV(t *testing.T) {
 	if data.Len() != 3 || len(data.Apps) != 4 {
 		t.Errorf("dataset shape %d rows, %d apps", data.Len(), len(data.Apps))
 	}
+	if _, err := os.Stat(out + ".journal"); !os.IsNotExist(err) {
+		t.Error("journal not removed after a clean run")
+	}
 }
 
 func TestRunBadFlags(t *testing.T) {
@@ -39,6 +43,12 @@ func TestRunBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"-samples", "0", "-q"}, &buf, &buf); err == nil {
 		t.Error("zero samples accepted")
 	}
+	out := filepath.Join(t.TempDir(), "ds.csv")
+	for _, s := range []string{"x", "3/2", "-1/2", "1/0", "1/2/3"} {
+		if err := run(context.Background(), []string{"-samples", "2", "-out", out, "-shard", s, "-q"}, &buf, &buf); err == nil {
+			t.Errorf("shard %q accepted", s)
+		}
+	}
 }
 
 func TestRunCancelled(t *testing.T) {
@@ -48,5 +58,85 @@ func TestRunCancelled(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "ds.csv")
 	if err := run(ctx, []string{"-samples", "100", "-out", out, "-q"}, &buf, &buf); err == nil {
 		t.Error("cancelled run succeeded")
+	}
+}
+
+// cliCSV runs dsegen with the given extra args and returns the output CSV
+// bytes.
+func cliCSV(t *testing.T, out string, extra ...string) []byte {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-samples", "4", "-seed", "9", "-out", out, "-q"}, extra...)
+	if err := run(context.Background(), args, &stdout, &stderr); err != nil {
+		t.Fatalf("dsegen %v: %v", args, err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRunResumeMatchesUninterrupted(t *testing.T) {
+	dir := t.TempDir()
+	full := cliCSV(t, filepath.Join(dir, "full.csv"))
+
+	// Simulate an interrupted run: journal only indices 0 and 1, exactly
+	// as a killed dsegen would leave behind.
+	out := filepath.Join(dir, "resumed.csv")
+	suite := armdse.TestSuite()
+	sw, err := armdse.CreateStream(out+".journal", armdse.FeatureNames(), armdse.SuiteNames(suite),
+		journalMeta(9, 4, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = armdse.Collect(context.Background(), armdse.CollectOptions{
+		Seed:    9,
+		Samples: 4,
+		Suite:   suite,
+		Sink:    armdse.NewStreamSink(sw),
+		Skip:    func(i int) bool { return i >= 2 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := cliCSV(t, out, "-resume")
+	if !bytes.Equal(full, resumed) {
+		t.Error("resumed CSV differs from uninterrupted run")
+	}
+
+	// -resume with no journal starts fresh and still matches.
+	fresh := cliCSV(t, filepath.Join(dir, "fresh.csv"), "-resume")
+	if !bytes.Equal(full, fresh) {
+		t.Error("-resume without a journal differs from a fresh run")
+	}
+}
+
+func TestRunShardUnionMatchesUnsharded(t *testing.T) {
+	dir := t.TempDir()
+	full := cliCSV(t, filepath.Join(dir, "full.csv"))
+	s0 := cliCSV(t, filepath.Join(dir, "s0.csv"), "-shard", "0/2")
+	s1 := cliCSV(t, filepath.Join(dir, "s1.csv"), "-shard", "1/2")
+
+	lines := func(b []byte) []string {
+		ls := strings.Split(strings.TrimSpace(string(b)), "\n")
+		return ls[1:] // drop header
+	}
+	union := map[string]bool{}
+	for _, l := range append(lines(s0), lines(s1)...) {
+		union[l] = true
+	}
+	fullLines := lines(full)
+	if len(union) != len(fullLines) {
+		t.Fatalf("shard union has %d rows, full run %d", len(union), len(fullLines))
+	}
+	for _, l := range fullLines {
+		if !union[l] {
+			t.Errorf("full-run row missing from shard union: %.60s...", l)
+		}
 	}
 }

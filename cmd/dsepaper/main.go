@@ -81,7 +81,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if needsData {
 		start := time.Now()
 		fmt.Fprintf(stderr, "collecting dataset (%d samples)...\n", *samples)
+		opt.Progress = func(ev armdse.ProgressEvent) {
+			if ev.Done%100 == 0 || ev.Done == ev.Total {
+				fmt.Fprintf(stderr, "\r%d/%d configs (%.1f/s, %d failed)   ",
+					ev.Done, ev.Total, ev.RowsPerSec, ev.Failed)
+			}
+		}
 		data, err := armdse.CollectExperimentData(ctx, opt)
+		fmt.Fprintln(stderr)
 		if err != nil {
 			return err
 		}

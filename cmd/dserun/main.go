@@ -36,6 +36,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		paper    = fs.Bool("paper", false, "use the paper's Table IV inputs instead of the scaled test inputs")
 		hw       = fs.Bool("hw", false, "use the high-fidelity (hardware-proxy) memory model")
 		verbose  = fs.Bool("v", false, "print detailed memory statistics")
+		maxCyc   = fs.Int64("max-cycles", 0, "abort the run after this many simulated cycles (0 = engine default)")
 		dumpBase = fs.String("dump-baseline", "", "write the ThunderX2 baseline config to this path and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -83,7 +84,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	st, err := armdse.Simulate(cfg, w)
+	st, err := armdse.SimulateLimited(cfg, w, *maxCyc)
 	if err != nil {
 		return err
 	}

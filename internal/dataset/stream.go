@@ -1,0 +1,326 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Streaming collection support. A StreamWriter journals completed rows to
+// disk as they finish, so an interrupted collection run keeps everything it
+// already simulated: each record carries the configuration's global index,
+// a failed flag, the feature vector and the per-app targets, in completion
+// order. CompactStream turns a journal into a clean Dataset sorted by index
+// — because every row is keyed by its global index and configurations are
+// derived independently per index, the compacted output is byte-identical
+// regardless of worker count, shard assignment, or how many times the run
+// was interrupted and resumed.
+
+// Journal bookkeeping columns: index and failed ahead of the feature
+// columns, and an optional metadata column at the end whose header embeds a
+// caller-supplied run description (e.g. "seed=1 samples=2000"). ResumeStream
+// refuses a journal whose metadata differs from the resuming run's, which
+// catches resuming with a different seed before mixed-provenance rows reach
+// a dataset.
+const (
+	journalIndexCol   = "_index"
+	journalFailedCol  = "_failed"
+	journalMetaPrefix = "_meta:"
+)
+
+// StreamWriter appends row records to an on-disk journal. All methods are
+// safe for concurrent use.
+type StreamWriter struct {
+	mu           sync.Mutex
+	f            *os.File
+	w            *csv.Writer
+	featureNames []string
+	apps         []string
+	meta         string
+	done         map[int]bool
+	closed       bool
+}
+
+// CreateStream starts a fresh journal at path (truncating any existing
+// file) with the given feature and target columns. A non-empty meta string
+// is recorded in the header and must match on ResumeStream.
+func CreateStream(path string, featureNames, apps []string, meta string) (*StreamWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &StreamWriter{
+		f:            f,
+		w:            csv.NewWriter(f),
+		featureNames: append([]string(nil), featureNames...),
+		apps:         append([]string(nil), apps...),
+		meta:         meta,
+		done:         make(map[int]bool),
+	}
+	if err := s.w.Write(s.header()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.w.Flush()
+	if err := s.w.Error(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// ResumeStream reopens an existing journal for appending. It verifies the
+// header matches the expected columns and metadata, reads every intact
+// record to rebuild the set of completed indices, and truncates a torn
+// final record (a crash mid-write) so appending resumes from a clean
+// boundary. A metadata mismatch (e.g. the journal was written with a
+// different seed) is an error: appending would silently mix rows from two
+// different sampling streams.
+func ResumeStream(path string, featureNames, apps []string, meta string) (*StreamWriter, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &StreamWriter{
+		featureNames: append([]string(nil), featureNames...),
+		apps:         append([]string(nil), apps...),
+		meta:         meta,
+		done:         make(map[int]bool),
+	}
+	cr := csv.NewReader(f)
+	cr.FieldsPerRecord = -1 // validate the header ourselves first
+	header, err := cr.Read()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dataset: resuming %s: reading header: %w", path, err)
+	}
+	want := s.header()
+	if len(header) != len(want) {
+		f.Close()
+		return nil, fmt.Errorf("dataset: resuming %s: journal has %d columns, want %d", path, len(header), len(want))
+	}
+	for i := range want {
+		if header[i] == want[i] {
+			continue
+		}
+		f.Close()
+		if strings.HasPrefix(header[i], journalMetaPrefix) && strings.HasPrefix(want[i], journalMetaPrefix) {
+			return nil, fmt.Errorf("dataset: resuming %s: journal was written with %q, this run is %q",
+				path, strings.TrimPrefix(header[i], journalMetaPrefix), strings.TrimPrefix(want[i], journalMetaPrefix))
+		}
+		return nil, fmt.Errorf("dataset: resuming %s: column %d is %q, want %q", path, i, header[i], want[i])
+	}
+	cr.FieldsPerRecord = len(want)
+	goodOffset := cr.InputOffset()
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn or corrupt tail record: keep everything before it.
+			break
+		}
+		idx, err := strconv.Atoi(rec[0])
+		if err != nil {
+			break
+		}
+		s.done[idx] = true
+		goodOffset = cr.InputOffset()
+	}
+	if err := f.Truncate(goodOffset); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(goodOffset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.f = f
+	s.w = csv.NewWriter(f)
+	return s, nil
+}
+
+func (s *StreamWriter) header() []string {
+	h := []string{journalIndexCol, journalFailedCol}
+	h = append(h, s.featureNames...)
+	for _, a := range s.apps {
+		h = append(h, targetPrefix+a)
+	}
+	if s.meta != "" {
+		h = append(h, journalMetaPrefix+s.meta)
+	}
+	return h
+}
+
+// Append journals one completed row and flushes it to the file, so a killed
+// process loses at most the record being written. A failed row records the
+// features with zero targets and failed=1; failed rows still mark their
+// index done so a resumed run does not re-simulate them. A nil targets map
+// is allowed for failed rows.
+func (s *StreamWriter) Append(index int, failed bool, features []float64, targets map[string]float64) error {
+	if len(features) != len(s.featureNames) {
+		return fmt.Errorf("dataset: journal row has %d features, want %d", len(features), len(s.featureNames))
+	}
+	rec := make([]string, 0, 3+len(features)+len(s.apps))
+	rec = append(rec, strconv.Itoa(index))
+	if failed {
+		rec = append(rec, "1")
+	} else {
+		rec = append(rec, "0")
+	}
+	for _, v := range features {
+		rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	for _, a := range s.apps {
+		rec = append(rec, strconv.FormatFloat(targets[a], 'g', -1, 64))
+	}
+	if s.meta != "" {
+		rec = append(rec, "")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("dataset: append to closed journal")
+	}
+	if s.done[index] {
+		return nil // resumed run raced a duplicate; first record wins
+	}
+	if err := s.w.Write(rec); err != nil {
+		return err
+	}
+	s.w.Flush()
+	if err := s.w.Error(); err != nil {
+		return err
+	}
+	s.done[index] = true
+	return nil
+}
+
+// Done returns a copy of the set of journaled indices (including failures).
+func (s *StreamWriter) Done() map[int]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]bool, len(s.done))
+	for i := range s.done {
+		out[i] = true
+	}
+	return out
+}
+
+// Len returns the number of journaled rows (including failures).
+func (s *StreamWriter) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.done)
+}
+
+// Close flushes and closes the journal file.
+func (s *StreamWriter) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.w.Flush()
+	werr := s.w.Error()
+	cerr := s.f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// CompactStream reads a journal written by StreamWriter and materialises it
+// as a Dataset: failed rows are dropped (and counted), the rest are sorted
+// by global index. Torn tail records are ignored, matching ResumeStream.
+func CompactStream(path string) (*Dataset, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, 0, fmt.Errorf("dataset: compacting %s: reading header: %w", path, err)
+	}
+	if len(header) < 3 || header[0] != journalIndexCol || header[1] != journalFailedCol {
+		return nil, 0, fmt.Errorf("dataset: %s is not a collection journal", path)
+	}
+	cols := header
+	if strings.HasPrefix(cols[len(cols)-1], journalMetaPrefix) {
+		cols = cols[:len(cols)-1] // metadata column carries no row data
+	}
+	var features, apps []string
+	for _, h := range cols[2:] {
+		if len(h) > len(targetPrefix) && h[:len(targetPrefix)] == targetPrefix {
+			apps = append(apps, h[len(targetPrefix):])
+		} else {
+			features = append(features, h)
+		}
+	}
+	if len(apps) == 0 {
+		return nil, 0, fmt.Errorf("dataset: %s has no target columns", path)
+	}
+	cr.FieldsPerRecord = len(header)
+
+	type row struct {
+		index   int
+		feats   []float64
+		targets map[string]float64
+	}
+	var rows []row
+	failed := 0
+	seen := make(map[int]bool)
+	for {
+		rec, err := cr.Read()
+		if err != nil {
+			break // EOF or torn tail
+		}
+		idx, err := strconv.Atoi(rec[0])
+		if err != nil || seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		if rec[1] != "0" {
+			failed++
+			continue
+		}
+		r := row{index: idx, feats: make([]float64, len(features)), targets: make(map[string]float64, len(apps))}
+		bad := false
+		for i := range features {
+			r.feats[i], err = strconv.ParseFloat(rec[2+i], 64)
+			if err != nil {
+				bad = true
+				break
+			}
+		}
+		for j, a := range apps {
+			v, err := strconv.ParseFloat(rec[2+len(features)+j], 64)
+			if err != nil {
+				bad = true
+				break
+			}
+			r.targets[a] = v
+		}
+		if bad {
+			continue
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].index < rows[j].index })
+	d := New(features, apps)
+	for _, r := range rows {
+		if err := d.Append(r.feats, r.targets); err != nil {
+			return nil, 0, err
+		}
+	}
+	return d, failed, nil
+}

@@ -40,8 +40,9 @@ type Options struct {
 	// Data, when non-nil, is used instead of collecting a fresh dataset;
 	// cmd/dsepaper collects once and shares it across experiments.
 	Data *dataset.Dataset
-	// Progress, when non-nil, receives collection progress.
-	Progress func(done, total int)
+	// Progress, when non-nil, receives collection progress events; see
+	// orchestrate.Engine.Progress for the concurrency contract.
+	Progress func(ev orchestrate.ProgressEvent)
 }
 
 // withDefaults fills unset options.

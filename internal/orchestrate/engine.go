@@ -1,0 +1,287 @@
+package orchestrate
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"armdse/internal/params"
+	"armdse/internal/simeng"
+	"armdse/internal/workload"
+)
+
+// The staged collection engine. Collection is wired as three explicit,
+// separately testable stages:
+//
+//	config source  →  worker stage  →  row sink
+//
+// The source yields design-space points by global index, derived
+// independently per index (params.ConfigAt), so any subset of indices can
+// be simulated on any worker, in any shard, or in any resumed run and the
+// final dataset is identical. The worker stage simulates the full workload
+// suite on one configuration and emits a Row outcome record. The sink
+// consumes rows as they complete — in memory (DatasetSink) or streamed to
+// an on-disk journal (StreamSink) that survives interruption.
+
+// ConfigSource yields design-space points by global index.
+type ConfigSource interface {
+	// Len is the total number of configurations in the run's index space.
+	Len() int
+	// At returns configuration i, 0 <= i < Len(). Implementations must be
+	// deterministic and safe for concurrent use.
+	At(i int) params.Config
+}
+
+// IndexedSource derives configuration i directly from (Seed, i) via
+// params.ConfigAt — the engine's default source.
+type IndexedSource struct {
+	Seed int64
+	N    int
+}
+
+// Len implements ConfigSource.
+func (s IndexedSource) Len() int { return s.N }
+
+// At implements ConfigSource.
+func (s IndexedSource) At(i int) params.Config { return params.ConfigAt(s.Seed, i) }
+
+// SliceSource serves a pre-materialised configuration list.
+type SliceSource []params.Config
+
+// Len implements ConfigSource.
+func (s SliceSource) Len() int { return len(s) }
+
+// At implements ConfigSource.
+func (s SliceSource) At(i int) params.Config { return s[i] }
+
+// Row is the outcome record of one configuration.
+type Row struct {
+	// Index is the configuration's global index in the source.
+	Index int
+	// Config is the simulated design-space point.
+	Config params.Config
+	// Features is the canonical feature encoding of Config.
+	Features []float64
+	// Targets maps application name to simulated cycles; nil when Err is
+	// non-nil.
+	Targets map[string]float64
+	// Cycles is the total number of cycles simulated across the suite.
+	Cycles int64
+	// Err records the first per-run failure; nil for a clean row.
+	Err error
+}
+
+// Failed reports whether the row was dropped by the validation gate.
+func (r Row) Failed() bool { return r.Err != nil }
+
+// RowSink consumes completed rows. The engine calls Put from multiple
+// worker goroutines concurrently, in completion order (not index order);
+// implementations must be safe for concurrent use. A Put error aborts the
+// run.
+type RowSink interface {
+	Put(row Row) error
+}
+
+// ProgressEvent snapshots a running collection after a configuration
+// finishes.
+type ProgressEvent struct {
+	// Done counts finished configurations, including failed ones.
+	Done int
+	// Failed counts configurations dropped by the validation gate so far.
+	Failed int
+	// Total is the number of configurations this run will attempt — the
+	// source size minus skipped (already-journaled or out-of-shard)
+	// indices.
+	Total int
+	// RowsPerSec is the mean completion rate since the run started.
+	RowsPerSec float64
+	// Cycles is the total number of core cycles simulated so far.
+	Cycles int64
+}
+
+// Engine wires the stages together and runs the worker pool.
+type Engine struct {
+	// Source yields the configurations; required.
+	Source ConfigSource
+	// Suite is the workload set simulated on every configuration;
+	// required.
+	Suite []workload.Workload
+	// Sink receives every completed row; required.
+	Sink RowSink
+	// Workers bounds the worker pool; 0 uses GOMAXPROCS.
+	Workers int
+	// MaxCyclesPerRun aborts pathological runs; 0 uses the engine
+	// default.
+	MaxCyclesPerRun int64
+	// ShardIndex/ShardCount restrict the run to indices congruent to
+	// ShardIndex modulo ShardCount. ShardCount 0 or 1 disables sharding.
+	ShardIndex, ShardCount int
+	// Skip, when non-nil, drops index i before simulation — the resume
+	// hook: pass the journal's completed-index set.
+	Skip func(i int) bool
+	// Progress, when non-nil, is invoked after every finished
+	// configuration.
+	//
+	// Concurrency contract: the engine serialises all Progress calls (it
+	// is never invoked concurrently with itself), but successive calls
+	// may come from different worker goroutines. Done increases by
+	// exactly one per call. The callback runs on the hot path — keep it
+	// fast and do not block.
+	Progress func(ev ProgressEvent)
+}
+
+// Run feeds every non-skipped index through the worker stage into the
+// sink. It returns the done/failed counts. On context cancellation it
+// stops feeding, drains in-flight configurations into the sink, and
+// returns ctx.Err() — everything already completed is preserved by the
+// sink.
+func (e *Engine) Run(ctx context.Context) (done, failed int, err error) {
+	if e.Source == nil || e.Sink == nil {
+		return 0, 0, fmt.Errorf("orchestrate: engine needs a Source and a Sink")
+	}
+	if len(e.Suite) == 0 {
+		return 0, 0, fmt.Errorf("orchestrate: empty workload suite")
+	}
+	if e.ShardCount > 1 && (e.ShardIndex < 0 || e.ShardIndex >= e.ShardCount) {
+		return 0, 0, fmt.Errorf("orchestrate: shard %d/%d out of range", e.ShardIndex, e.ShardCount)
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxCycles := e.MaxCyclesPerRun
+	if maxCycles <= 0 {
+		maxCycles = simeng.DefaultMaxCycles
+	}
+
+	var todo []int
+	for i := 0; i < e.Source.Len(); i++ {
+		if e.ShardCount > 1 && i%e.ShardCount != e.ShardIndex {
+			continue
+		}
+		if e.Skip != nil && e.Skip(i) {
+			continue
+		}
+		todo = append(todo, i)
+	}
+
+	cache := newProgramCache()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+
+	// Shared run state, guarded by mu: progress counters and the first
+	// sink error (which aborts the run).
+	var mu sync.Mutex
+	var cycles int64
+	var sinkErr error
+	start := time.Now()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				row := e.runConfig(cache, i, maxCycles)
+				mu.Lock()
+				if sinkErr != nil {
+					mu.Unlock()
+					continue
+				}
+				if err := e.Sink.Put(row); err != nil {
+					sinkErr = err
+					mu.Unlock()
+					continue
+				}
+				done++
+				if row.Failed() {
+					failed++
+				}
+				cycles += row.Cycles
+				if e.Progress != nil {
+					e.Progress(ProgressEvent{
+						Done:       done,
+						Failed:     failed,
+						Total:      len(todo),
+						RowsPerSec: float64(done) / time.Since(start).Seconds(),
+						Cycles:     cycles,
+					})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	var ctxErr error
+feed:
+	for _, i := range todo {
+		mu.Lock()
+		aborted := sinkErr != nil
+		mu.Unlock()
+		if aborted {
+			break
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if sinkErr != nil {
+		return done, failed, sinkErr
+	}
+	return done, failed, ctxErr
+}
+
+// runConfig is the worker stage: simulate the full suite on configuration
+// index i and record the outcome.
+func (e *Engine) runConfig(cache *programCache, i int, maxCycles int64) Row {
+	cfg := e.Source.At(i)
+	row := Row{Index: i, Config: cfg, Features: cfg.Features()}
+	targets := make(map[string]float64, len(e.Suite))
+	for _, w := range e.Suite {
+		prog, err := cache.get(w, cfg.Core.VectorLength)
+		if err != nil {
+			row.Err = err
+			return row
+		}
+		st, err := simulateLimited(cfg, prog, maxCycles)
+		row.Cycles += st.Cycles
+		if err != nil {
+			row.Err = fmt.Errorf("%s: %w", w.Name(), err)
+			return row
+		}
+		targets[w.Name()] = float64(st.Cycles)
+	}
+	row.Targets = targets
+	return row
+}
+
+// simulateLimited builds a fresh core/hierarchy and runs prog's stream
+// under the cycle budget.
+func simulateLimited(cfg params.Config, prog *workload.Program, maxCycles int64) (simeng.Stats, error) {
+	h, err := newHierarchy(cfg)
+	if err != nil {
+		return simeng.Stats{}, err
+	}
+	c, err := simeng.New(cfg.Core, h)
+	if err != nil {
+		return simeng.Stats{}, err
+	}
+	return c.RunLimit(prog.Stream(), maxCycles)
+}
+
+// SuiteNames returns the application names of a workload suite, in order —
+// the target column set of a collection over that suite.
+func SuiteNames(suite []workload.Workload) []string {
+	names := make([]string, len(suite))
+	for i, w := range suite {
+		names[i] = w.Name()
+	}
+	return names
+}

@@ -3,13 +3,16 @@
 // and collect the cycle counts into a dataset — the Go equivalent of the
 // artifact's run_xci.sh / config_generator.py / collect_data.py workflow,
 // fanned out over local cores instead of Isambard 2 nodes.
+//
+// Collection is organised as a staged engine (see Engine): an indexed
+// config source, a simulating worker stage, and a pluggable RowSink.
+// Collect wires the stages into the classic one-call API; callers needing
+// streaming output, sharding, or resume drive the options directly.
 package orchestrate
 
 import (
 	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"armdse/internal/dataset"
 	"armdse/internal/params"
@@ -19,10 +22,12 @@ import (
 
 // Options configure a collection run.
 type Options struct {
-	// Seed drives configuration sampling; identical seeds with identical
-	// options produce identical datasets.
+	// Seed drives configuration derivation; identical seeds with
+	// identical options produce identical datasets, regardless of
+	// Workers, sharding, or resume point (configs are derived
+	// independently per index — see params.ConfigAt).
 	Seed int64
-	// Samples is the number of configurations to draw.
+	// Samples is the size of the run's global index space.
 	Samples int
 	// Workers bounds the worker pool; 0 uses GOMAXPROCS.
 	Workers int
@@ -34,63 +39,63 @@ type Options struct {
 	// collecting, mirroring the paper's rule that only validated runs
 	// enter the dataset.
 	Validate bool
-	// Progress, when non-nil, receives (completedConfigs, totalConfigs)
-	// after each configuration finishes.
-	Progress func(done, total int)
+	// Sink, when non-nil, receives every completed row instead of the
+	// default in-memory dataset (in which case Result.Data is nil) —
+	// pass a StreamSink to journal rows to disk as they complete.
+	Sink RowSink
+	// Skip, when non-nil, drops index i without simulating it — the
+	// resume hook: pass the journal's completed-index set.
+	Skip func(i int) bool
+	// ShardIndex/ShardCount restrict the run to indices congruent to
+	// ShardIndex modulo ShardCount; the union of all shards of a seed
+	// equals the unsharded run. ShardCount 0 or 1 disables sharding.
+	ShardIndex, ShardCount int
+	// Progress, when non-nil, receives a ProgressEvent after each
+	// configuration finishes. See Engine.Progress for the concurrency
+	// contract: calls are serialised by the engine but may come from
+	// different goroutines; keep the callback fast.
+	Progress func(ev ProgressEvent)
 }
 
 // Result is a collection outcome.
 type Result struct {
-	// Data is the collected dataset, one row per successful config.
+	// Data is the collected dataset, one row per successful config,
+	// sorted by global index. Nil when Options.Sink was supplied.
 	Data *dataset.Dataset
+	// Done counts configurations that finished (including failed ones).
+	Done int
 	// Failed counts configurations dropped because a run errored.
 	Failed int
 }
 
-// programCache shares built programs between workers: the instruction stream
-// depends only on (application, vector length), so at most 5 programs exist
-// per app. Programs are immutable after construction; streams are per-run.
-type programCache struct {
-	mu    sync.Mutex
-	progs map[string]map[int]*workload.Program
-}
-
-func newProgramCache() *programCache {
-	return &programCache{progs: make(map[string]map[int]*workload.Program)}
-}
-
-func (pc *programCache) get(w workload.Workload, vl int) (*workload.Program, error) {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	byVL, ok := pc.progs[w.Name()]
-	if !ok {
-		byVL = make(map[int]*workload.Program)
-		pc.progs[w.Name()] = byVL
-	}
-	if p, ok := byVL[vl]; ok {
-		return p, nil
-	}
-	p, err := w.Program(vl)
-	if err != nil {
-		return nil, err
-	}
-	byVL[vl] = p
-	return p, nil
-}
-
-// RunOne simulates a single (configuration, workload) pair.
+// RunOne simulates a single (configuration, workload) pair under the
+// engine's default cycle budget.
 func RunOne(cfg params.Config, w workload.Workload) (simeng.Stats, error) {
+	return RunOneLimited(cfg, w, 0)
+}
+
+// RunOneLimited simulates a single (configuration, workload) pair under
+// the given cycle budget — the same protection batch collection gets from
+// Options.MaxCyclesPerRun. maxCycles <= 0 uses the engine default.
+func RunOneLimited(cfg params.Config, w workload.Workload, maxCycles int64) (simeng.Stats, error) {
 	p, err := w.Program(cfg.Core.VectorLength)
 	if err != nil {
 		return simeng.Stats{}, fmt.Errorf("orchestrate: %s: %w", w.Name(), err)
 	}
-	return simeng.Simulate(cfg.Core, cfg.Mem, p.Stream())
+	if maxCycles <= 0 {
+		maxCycles = simeng.DefaultMaxCycles
+	}
+	return simulateLimited(cfg, p, maxCycles)
 }
 
-// Collect runs the full pipeline and returns the dataset. Configurations
-// whose simulation fails are dropped (and counted), matching the paper's
-// validation gate; the error return is reserved for setup problems and
-// context cancellation.
+// Collect runs the full pipeline. Configurations whose simulation fails
+// are dropped (and counted), matching the paper's validation gate; the
+// error return is reserved for setup problems, sink failures, and context
+// cancellation.
+//
+// On cancellation Collect returns the partial result — every row completed
+// before the interrupt (plus ctx.Err()), so callers can persist what
+// finished.
 func Collect(ctx context.Context, opt Options) (Result, error) {
 	if opt.Samples <= 0 {
 		return Result{}, fmt.Errorf("orchestrate: samples %d <= 0", opt.Samples)
@@ -109,116 +114,39 @@ func Collect(ctx context.Context, opt Options) (Result, error) {
 			}
 		}
 	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	maxCycles := opt.MaxCyclesPerRun
-	if maxCycles <= 0 {
-		maxCycles = simeng.DefaultMaxCycles
+
+	sink := opt.Sink
+	var ds *DatasetSink
+	if sink == nil {
+		ds = NewDatasetSink(params.FeatureNames(), SuiteNames(suite))
+		sink = ds
 	}
 
-	configs := params.SampleN(opt.Seed, opt.Samples)
-	cache := newProgramCache()
-
-	type rowResult struct {
-		targets map[string]float64
-		err     error
+	eng := &Engine{
+		Source:          IndexedSource{Seed: opt.Seed, N: opt.Samples},
+		Suite:           suite,
+		Sink:            sink,
+		Workers:         opt.Workers,
+		MaxCyclesPerRun: opt.MaxCyclesPerRun,
+		ShardIndex:      opt.ShardIndex,
+		ShardCount:      opt.ShardCount,
+		Skip:            opt.Skip,
+		Progress:        opt.Progress,
 	}
-	rows := make([]rowResult, opt.Samples)
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	var done int
-	var doneMu sync.Mutex
-
-	runCfg := func(i int) rowResult {
-		cfg := configs[i]
-		targets := make(map[string]float64, len(suite))
-		for _, w := range suite {
-			prog, err := cache.get(w, cfg.Core.VectorLength)
-			if err != nil {
-				return rowResult{err: err}
-			}
-			st, err := simulateLimited(cfg, prog, maxCycles)
-			if err != nil {
-				return rowResult{err: fmt.Errorf("%s: %w", w.Name(), err)}
-			}
-			targets[w.Name()] = float64(st.Cycles)
+	done, failed, runErr := eng.Run(ctx)
+	res := Result{Done: done, Failed: failed}
+	if ds != nil {
+		data, _, err := ds.Dataset()
+		if err != nil {
+			return res, err
 		}
-		return rowResult{targets: targets}
+		res.Data = data
 	}
-
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				rows[i] = runCfg(i)
-				if opt.Progress != nil {
-					doneMu.Lock()
-					done++
-					d := done
-					doneMu.Unlock()
-					opt.Progress(d, opt.Samples)
-				}
-			}
-		}()
+	if runErr != nil {
+		return res, runErr
 	}
-
-	var ctxErr error
-feed:
-	for i := 0; i < opt.Samples; i++ {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			ctxErr = ctx.Err()
-			break feed
-		}
+	if ds != nil && res.Data.Len() == 0 && done > 0 {
+		return res, fmt.Errorf("orchestrate: every configuration failed (first error: %v)", ds.FirstError())
 	}
-	close(jobs)
-	wg.Wait()
-	if ctxErr != nil {
-		return Result{}, ctxErr
-	}
-
-	appNames := make([]string, len(suite))
-	for i, w := range suite {
-		appNames[i] = w.Name()
-	}
-	data := dataset.New(params.FeatureNames(), appNames)
-	failed := 0
-	for i, rr := range rows {
-		if rr.err != nil || rr.targets == nil {
-			failed++
-			continue
-		}
-		if err := data.Append(configs[i].Features(), rr.targets); err != nil {
-			return Result{}, err
-		}
-	}
-	if data.Len() == 0 {
-		first := ""
-		for _, rr := range rows {
-			if rr.err != nil {
-				first = rr.err.Error()
-				break
-			}
-		}
-		return Result{}, fmt.Errorf("orchestrate: every configuration failed (first error: %s)", first)
-	}
-	return Result{Data: data, Failed: failed}, nil
-}
-
-// simulateLimited builds a fresh core/hierarchy and runs prog's stream under
-// the cycle budget.
-func simulateLimited(cfg params.Config, prog *workload.Program, maxCycles int64) (simeng.Stats, error) {
-	h, err := newHierarchy(cfg)
-	if err != nil {
-		return simeng.Stats{}, err
-	}
-	c, err := simeng.New(cfg.Core, h)
-	if err != nil {
-		return simeng.Stats{}, err
-	}
-	return c.RunLimit(prog.Stream(), maxCycles)
+	return res, nil
 }

@@ -91,27 +91,43 @@ func TestCollectDeterministic(t *testing.T) {
 
 func TestCollectProgressAndValidate(t *testing.T) {
 	var mu sync.Mutex
-	var calls []int
+	var calls []ProgressEvent
 	res, err := Collect(context.Background(), Options{
 		Seed:     3,
 		Samples:  4,
 		Workers:  2,
 		Suite:    tinySuite(),
 		Validate: true,
-		Progress: func(done, total int) {
+		Progress: func(ev ProgressEvent) {
 			mu.Lock()
-			calls = append(calls, done)
+			calls = append(calls, ev)
 			mu.Unlock()
-			if total != 4 {
-				t.Errorf("total = %d", total)
-			}
 		},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(calls) != 4 {
-		t.Errorf("progress calls = %d, want 4", len(calls))
+		t.Fatalf("progress calls = %d, want 4", len(calls))
+	}
+	for i, ev := range calls {
+		// The engine serialises Progress, so Done is strictly monotonic.
+		if ev.Done != i+1 {
+			t.Errorf("call %d: Done = %d, want %d", i, ev.Done, i+1)
+		}
+		if ev.Total != 4 {
+			t.Errorf("call %d: Total = %d, want 4", i, ev.Total)
+		}
+		if ev.RowsPerSec <= 0 {
+			t.Errorf("call %d: RowsPerSec = %g", i, ev.RowsPerSec)
+		}
+	}
+	last := calls[len(calls)-1]
+	if last.Cycles <= 0 {
+		t.Errorf("final Cycles = %d, want > 0", last.Cycles)
+	}
+	if last.Failed != res.Failed {
+		t.Errorf("final Failed = %d, result says %d", last.Failed, res.Failed)
 	}
 	if res.Data.Len() == 0 {
 		t.Error("no data")

@@ -1,0 +1,49 @@
+package orchestrate
+
+import (
+	"sync"
+
+	"armdse/internal/workload"
+)
+
+// programCache shares built programs between workers: the instruction
+// stream depends only on (application, vector length), so at most a
+// handful of programs exist per app. Programs are immutable after
+// construction; streams are per-run.
+//
+// The cache holds its map lock only while resolving the entry; the program
+// itself is built outside the lock under a per-entry sync.Once, so one
+// slow build (a paper-scale workload can take seconds to lay out) never
+// serialises workers building other programs.
+type programCache struct {
+	mu      sync.Mutex
+	entries map[progKey]*progEntry
+}
+
+type progKey struct {
+	name string
+	vl   int
+}
+
+type progEntry struct {
+	once sync.Once
+	prog *workload.Program
+	err  error
+}
+
+func newProgramCache() *programCache {
+	return &programCache{entries: make(map[progKey]*progEntry)}
+}
+
+func (pc *programCache) get(w workload.Workload, vl int) (*workload.Program, error) {
+	key := progKey{name: w.Name(), vl: vl}
+	pc.mu.Lock()
+	e, ok := pc.entries[key]
+	if !ok {
+		e = &progEntry{}
+		pc.entries[key] = e
+	}
+	pc.mu.Unlock()
+	e.once.Do(func() { e.prog, e.err = w.Program(vl) })
+	return e.prog, e.err
+}

@@ -1,0 +1,84 @@
+package orchestrate
+
+import (
+	"sort"
+	"sync"
+
+	"armdse/internal/dataset"
+)
+
+// DatasetSink buffers completed rows in memory and materialises them as a
+// dataset.Dataset sorted by global index, so the result is identical
+// regardless of worker count or completion order — the engine-native
+// replacement for the old collect-then-append loop.
+type DatasetSink struct {
+	mu           sync.Mutex
+	featureNames []string
+	apps         []string
+	rows         []Row
+}
+
+// NewDatasetSink builds an in-memory sink with the given feature and
+// target columns.
+func NewDatasetSink(featureNames, apps []string) *DatasetSink {
+	return &DatasetSink{
+		featureNames: append([]string(nil), featureNames...),
+		apps:         append([]string(nil), apps...),
+	}
+}
+
+// Put implements RowSink.
+func (s *DatasetSink) Put(row Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rows = append(s.rows, row)
+	return nil
+}
+
+// Dataset returns the successful rows sorted by index as a dataset,
+// together with the number of failed rows.
+func (s *DatasetSink) Dataset() (*dataset.Dataset, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sort.Slice(s.rows, func(i, j int) bool { return s.rows[i].Index < s.rows[j].Index })
+	d := dataset.New(s.featureNames, s.apps)
+	failed := 0
+	for _, r := range s.rows {
+		if r.Failed() {
+			failed++
+			continue
+		}
+		if err := d.Append(r.Features, r.Targets); err != nil {
+			return nil, 0, err
+		}
+	}
+	return d, failed, nil
+}
+
+// FirstError returns the first (lowest-index) row error, or nil.
+func (s *DatasetSink) FirstError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	first := -1
+	for _, r := range s.rows {
+		if r.Err != nil && (first < 0 || r.Index < first) {
+			first = r.Index
+			firstErr = r.Err
+		}
+	}
+	return firstErr
+}
+
+// StreamSink adapts a dataset.StreamWriter to the RowSink interface: rows
+// are appended to the on-disk journal as they complete, so an interrupted
+// run keeps everything already simulated and can resume from the journal's
+// completed-index set.
+type StreamSink struct {
+	W *dataset.StreamWriter
+}
+
+// Put implements RowSink.
+func (s StreamSink) Put(row Row) error {
+	return s.W.Append(row.Index, row.Failed(), row.Features, row.Targets)
+}

@@ -130,13 +130,13 @@ func Sample(rng *rand.Rand) Config {
 	return cfg
 }
 
-// SampleN draws n configurations from a fresh deterministic generator
-// seeded with seed.
+// SampleN draws n configurations deterministically from seed. Each entry is
+// derived independently per index (see ConfigAt), so SampleN(seed, n)[i] ==
+// ConfigAt(seed, i) and extending n preserves the existing prefix.
 func SampleN(seed int64, n int) []Config {
-	rng := rand.New(rand.NewSource(seed))
 	out := make([]Config, n)
 	for i := range out {
-		out[i] = Sample(rng)
+		out[i] = ConfigAt(seed, i)
 	}
 	return out
 }

@@ -9,7 +9,6 @@ package search
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"armdse/internal/dtree"
 	"armdse/internal/params"
@@ -80,13 +79,16 @@ func Best(obj Objective, opt Options) (Result, error) {
 	if opt.RefineSteps < 0 {
 		opt.RefineSteps = 0
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
 
 	best := params.Config{}
 	bestScore := math.Inf(1)
 	screened := 0
+	// Screening draws candidate i from the same indexed config source the
+	// collection engine uses (params.ConfigAt), so the pool is stable per
+	// (seed, index) and screening can be sharded or resumed like a
+	// collection run.
 	for i := 0; i < opt.Candidates; i++ {
-		cfg := params.Sample(rng)
+		cfg := params.ConfigAt(opt.Seed, i)
 		if opt.Feasible != nil && !opt.Feasible(cfg) {
 			continue
 		}
