@@ -46,6 +46,15 @@ type (
 	MemConfig = sstmem.Config
 	// Stats summarises one simulated run; Cycles is the study's target.
 	Stats = simeng.Stats
+	// MemoryBackend is the seam between the core and its memory system;
+	// sstmem hierarchies, FlatMem and the hwproxy backend all implement it.
+	MemoryBackend = simeng.MemoryBackend
+	// FlatMem is the ideal fixed-latency memory backend.
+	FlatMem = simeng.FlatMem
+	// StallClass is one bucket of the per-cycle stall attribution.
+	StallClass = simeng.StallClass
+	// StallBreakdown is a per-class cycle attribution summing to Cycles.
+	StallBreakdown = simeng.StallBreakdown
 	// Workload is one benchmark application.
 	Workload = workload.Workload
 	// Param is one dimension of the design space.
@@ -155,6 +164,37 @@ func SimulateLimited(cfg Config, w Workload, maxCycles int64) (Stats, error) {
 	return orchestrate.RunOneLimited(cfg, w, maxCycles)
 }
 
+// Memory backend names accepted by SimulateOn and CollectOptions.Backend.
+const (
+	// BackendSST is the default L1/L2/RAM hierarchy model.
+	BackendSST = orchestrate.BackendSST
+	// BackendFlat is the ideal fixed-latency memory (FlatMem).
+	BackendFlat = orchestrate.BackendFlat
+	// BackendProxy is the hardware-proxy backend (sstmem pinned to its
+	// highest-fidelity mode; see internal/hwproxy for the contract).
+	BackendProxy = orchestrate.BackendProxy
+)
+
+// Backends lists the recognised memory backend names.
+func Backends() []string { return orchestrate.Backends() }
+
+// SimulateOn is SimulateLimited with an explicit memory backend selection;
+// backend "" means BackendSST and maxCycles <= 0 the engine default.
+func SimulateOn(backend string, cfg Config, w Workload, maxCycles int64) (Stats, error) {
+	return orchestrate.RunOneOn(backend, cfg, w, maxCycles)
+}
+
+// NewFlatMem builds an ideal memory backend answering every access in
+// latency cycles, optionally capped at linesPerCycle line transfers per
+// cycle (0 = unlimited) — the "perfect memory" end of the design space.
+func NewFlatMem(latency int64, lineBytes, linesPerCycle int) (*FlatMem, error) {
+	return simeng.NewFlatMem(latency, lineBytes, linesPerCycle)
+}
+
+// StallClassNames returns the stall taxonomy's class names in breakdown
+// order — the per-class labels of Stats.Stalls.
+func StallClassNames() []string { return simeng.StallClassNames() }
+
 // Collection engine types; see the orchestrate package for details.
 type (
 	// CollectOptions configure dataset collection.
@@ -199,6 +239,26 @@ func ResumeStream(path string, featureNames, apps []string, meta string) (*Strea
 	return dataset.ResumeStream(path, featureNames, apps, meta)
 }
 
+// CreateStreamAux is CreateStream with auxiliary (stall-breakdown) columns,
+// producing a schema-v2 journal; pass StallColumns(apps) to journal the
+// collection's per-class stall attribution alongside its cycle targets.
+func CreateStreamAux(path string, featureNames, apps, auxNames []string, meta string) (*StreamWriter, error) {
+	return dataset.CreateStreamAux(path, featureNames, apps, auxNames, meta)
+}
+
+// ResumeStreamAux is ResumeStream for journals created with CreateStreamAux.
+// Resuming a schema-v1 journal (written before stall columns existed) with
+// non-empty auxNames degrades gracefully: the writer drops the aux columns
+// and keeps appending in the journal's original layout.
+func ResumeStreamAux(path string, featureNames, apps, auxNames []string, meta string) (*StreamWriter, error) {
+	return dataset.ResumeStreamAux(path, featureNames, apps, auxNames, meta)
+}
+
+// StallColumns returns the auxiliary column names a collection over the
+// given applications emits: one "stall:<app>:<class>" column per
+// (application, stall class) pair.
+func StallColumns(apps []string) []string { return orchestrate.StallColumns(apps) }
+
 // CompactStream materialises a collection journal as a dataset sorted by
 // global index, returning the number of failed (dropped) configurations.
 func CompactStream(path string) (*Dataset, int, error) {
@@ -220,6 +280,18 @@ func LoadDataset(path string) (*Dataset, error) { return dataset.LoadFile(path) 
 // unbounded depth, single-sample leaves) for one application's cycles.
 func TrainSurrogate(d *Dataset, app string) (*Tree, error) {
 	y, err := d.Target(app)
+	if err != nil {
+		return nil, err
+	}
+	return dtree.Train(d.X, y, dtree.Options{})
+}
+
+// TrainStallSurrogate fits a decision-tree regressor for one application's
+// cycles attributed to one stall class — the per-stall-class analogue of
+// TrainSurrogate, usable only on schema-v2 datasets collected with stall
+// columns. Class names come from StallClassNames.
+func TrainStallSurrogate(d *Dataset, app, class string) (*Tree, error) {
+	y, err := d.StallTarget(app, class)
 	if err != nil {
 		return nil, err
 	}

@@ -98,16 +98,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	journal := *out + ".journal"
 	meta := journalMeta(*seed, *samples, *paper)
 
+	aux := armdse.StallColumns(apps)
+
 	var sw *armdse.StreamWriter
 	var err error
 	if *resume {
-		sw, err = armdse.ResumeStream(journal, features, apps, meta)
+		// Resuming a pre-stall-column (schema v1) journal keeps its layout:
+		// ResumeStreamAux drops the aux columns rather than rejecting it.
+		sw, err = armdse.ResumeStreamAux(journal, features, apps, aux, meta)
 		if errors.Is(err, os.ErrNotExist) {
 			fmt.Fprintf(stderr, "no journal at %s; starting fresh\n", journal)
-			sw, err = armdse.CreateStream(journal, features, apps, meta)
+			sw, err = armdse.CreateStreamAux(journal, features, apps, aux, meta)
 		}
 	} else {
-		sw, err = armdse.CreateStream(journal, features, apps, meta)
+		sw, err = armdse.CreateStreamAux(journal, features, apps, aux, meta)
 	}
 	if err != nil {
 		return err

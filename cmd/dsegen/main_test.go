@@ -85,8 +85,9 @@ func TestRunResumeMatchesUninterrupted(t *testing.T) {
 	// as a killed dsegen would leave behind.
 	out := filepath.Join(dir, "resumed.csv")
 	suite := armdse.TestSuite()
-	sw, err := armdse.CreateStream(out+".journal", armdse.FeatureNames(), armdse.SuiteNames(suite),
-		journalMeta(9, 4, false))
+	apps := armdse.SuiteNames(suite)
+	sw, err := armdse.CreateStreamAux(out+".journal", armdse.FeatureNames(), apps,
+		armdse.StallColumns(apps), journalMeta(9, 4, false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,6 +114,72 @@ func TestRunResumeMatchesUninterrupted(t *testing.T) {
 	fresh := cliCSV(t, filepath.Join(dir, "fresh.csv"), "-resume")
 	if !bytes.Equal(full, fresh) {
 		t.Error("-resume without a journal differs from a fresh run")
+	}
+}
+
+// TestRunResumeV1Journal resumes a journal written before stall columns
+// existed (schema v1): the run must succeed and keep the journal's original
+// layout, producing a CSV whose feature and target columns match a fresh
+// run's but with no stall columns.
+func TestRunResumeV1Journal(t *testing.T) {
+	dir := t.TempDir()
+	cliCSV(t, filepath.Join(dir, "full.csv"))
+
+	out := filepath.Join(dir, "v1.csv")
+	suite := armdse.TestSuite()
+	sw, err := armdse.CreateStream(out+".journal", armdse.FeatureNames(), armdse.SuiteNames(suite),
+		journalMeta(9, 4, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = armdse.Collect(context.Background(), armdse.CollectOptions{
+		Seed:    9,
+		Samples: 4,
+		Suite:   suite,
+		Sink:    armdse.NewStreamSink(sw),
+		Skip:    func(i int) bool { return i >= 2 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	v1 := cliCSV(t, out, "-resume")
+	if strings.Contains(string(v1), "stall:") {
+		t.Error("resumed v1 journal produced stall columns")
+	}
+	// Projecting the fresh v2 run onto the v1 columns must reproduce the
+	// v1 output exactly: same rows, stall columns simply absent.
+	data, err := armdse.LoadDataset(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := data.SchemaVersion(); v != 1 {
+		t.Errorf("resumed dataset schema v%d, want v1", v)
+	}
+	fullData, err := armdse.LoadDataset(filepath.Join(dir, "full.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := fullData.SchemaVersion(); v != 2 {
+		t.Errorf("fresh dataset schema v%d, want v2", v)
+	}
+	if data.Len() != fullData.Len() {
+		t.Fatalf("v1 run has %d rows, fresh run %d", data.Len(), fullData.Len())
+	}
+	for r := range data.X {
+		for c := range data.X[r] {
+			if data.X[r][c] != fullData.X[r][c] {
+				t.Fatalf("row %d feature %d: v1 %v, fresh %v", r, c, data.X[r][c], fullData.X[r][c])
+			}
+		}
+		for _, a := range data.Apps {
+			if data.Y[a][r] != fullData.Y[a][r] {
+				t.Fatalf("row %d target %s: v1 %v, fresh %v", r, a, data.Y[a][r], fullData.Y[a][r])
+			}
+		}
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dserun [-app STREAM] [-config cfg.json] [-vl 512] [-paper] [-hw] [-v]
+//	dserun [-app STREAM] [-config cfg.json] [-vl 512] [-paper] [-mem sst] [-hw] [-v]
 //	dserun -dump-baseline tx2.json
 package main
 
@@ -35,6 +35,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		vl       = fs.Int("vl", 0, "override SVE vector length in bits (power of two, 128-2048)")
 		paper    = fs.Bool("paper", false, "use the paper's Table IV inputs instead of the scaled test inputs")
 		hw       = fs.Bool("hw", false, "use the high-fidelity (hardware-proxy) memory model")
+		mem      = fs.String("mem", "", "memory backend: sst (default), flat, proxy")
 		verbose  = fs.Bool("v", false, "print detailed memory statistics")
 		maxCyc   = fs.Int64("max-cycles", 0, "abort the run after this many simulated cycles (0 = engine default)")
 		dumpBase = fs.String("dump-baseline", "", "write the ThunderX2 baseline config to this path and exit")
@@ -84,7 +85,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	st, err := armdse.SimulateLimited(cfg, w, *maxCyc)
+	st, err := armdse.SimulateOn(*mem, cfg, w, *maxCyc)
 	if err != nil {
 		return err
 	}
@@ -105,6 +106,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "rename stalls:       gp=%d fp=%d pred=%d cond=%d\n",
 			st.RenameStalls[0], st.RenameStalls[1], st.RenameStalls[2], st.RenameStalls[3])
 		fmt.Fprintf(stdout, "avg occupancy:       rob=%.1f rs=%.1f\n", st.AvgROBOccupancy(), st.AvgRSOccupancy())
+		fmt.Fprintf(stdout, "cycle breakdown:    ")
+		for i, name := range armdse.StallClassNames() {
+			fmt.Fprintf(stdout, " %s=%.1f%%", name, st.StallPct(armdse.StallClass(i)))
+		}
+		fmt.Fprintln(stdout)
 		fmt.Fprintf(stdout, "port utilisation:   ")
 		ports := cfg.Core.EffectivePorts()
 		for i, u := range st.PortUtilisation() {

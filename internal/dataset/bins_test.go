@@ -99,8 +99,8 @@ func TestMeanTargetByBinsPartition(t *testing.T) {
 		// range (a weaker but order-free invariant).
 		lo, hi := math.Inf(1), math.Inf(-1)
 		for _, v := range vals {
-			lo = math.Min(lo, float64(v))
-			hi = math.Max(hi, float64(v))
+			lo = min(lo, float64(v))
+			hi = max(hi, float64(v))
 		}
 		for _, m := range means {
 			if m < lo-1e-9 || m > hi+1e-9 {

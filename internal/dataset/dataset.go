@@ -28,6 +28,12 @@ type Dataset struct {
 	X [][]float64
 	// Y holds one target slice per app, parallel to X.
 	Y map[string][]float64
+	// AuxNames are the auxiliary observation column names (see aux.go);
+	// empty for schema-v1 datasets.
+	AuxNames []string
+	// Aux holds one column per aux name, parallel to X. Rows appended via
+	// Append (no aux values) pad these columns with zeros.
+	Aux map[string][]float64
 }
 
 // New builds an empty dataset with the given feature and target columns.
@@ -50,8 +56,19 @@ func (d *Dataset) Len() int { return len(d.X) }
 func (d *Dataset) NumFeatures() int { return len(d.FeatureNames) }
 
 // Append adds one row. The feature vector is copied; targets must cover
-// every app column.
+// every app column. On a dataset with aux columns the new row's aux values
+// are zero — use AppendFull to supply them.
 func (d *Dataset) Append(features []float64, targets map[string]float64) error {
+	if err := d.appendRow(features, targets); err != nil {
+		return err
+	}
+	for _, n := range d.AuxNames {
+		d.Aux[n] = append(d.Aux[n], 0)
+	}
+	return nil
+}
+
+func (d *Dataset) appendRow(features []float64, targets map[string]float64) error {
 	if len(features) != len(d.FeatureNames) {
 		return fmt.Errorf("dataset: row has %d features, want %d", len(features), len(d.FeatureNames))
 	}
@@ -97,11 +114,14 @@ func (d *Dataset) FeatureIndex(name string) int {
 
 // clone copies the dataset structure with the given row indices.
 func (d *Dataset) clone(rows []int) *Dataset {
-	out := New(d.FeatureNames, d.Apps)
+	out := NewWithAux(d.FeatureNames, d.Apps, d.AuxNames)
 	for _, r := range rows {
 		out.X = append(out.X, d.X[r])
 		for _, a := range d.Apps {
 			out.Y[a] = append(out.Y[a], d.Y[a][r])
+		}
+		for _, n := range d.AuxNames {
+			out.Aux[n] = append(out.Aux[n], d.Aux[n][r])
 		}
 	}
 	return out
@@ -244,13 +264,16 @@ func sortFloats(a []float64) {
 	}
 }
 
-// WriteCSV writes the dataset with a header row.
+// WriteCSV writes the dataset with a header row: features, then targets,
+// then any aux columns (schema v2). A dataset without aux columns writes
+// exactly the original v1 layout.
 func (d *Dataset) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := append([]string(nil), d.FeatureNames...)
 	for _, a := range d.Apps {
 		header = append(header, targetPrefix+a)
 	}
+	header = append(header, d.AuxNames...)
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -262,6 +285,9 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 		for j, a := range d.Apps {
 			rec[len(d.FeatureNames)+j] = strconv.FormatFloat(d.Y[a][r], 'g', -1, 64)
 		}
+		for j, n := range d.AuxNames {
+			rec[len(d.FeatureNames)+len(d.Apps)+j] = strconv.FormatFloat(d.Aux[n][r], 'g', -1, 64)
+		}
 		if err := cw.Write(rec); err != nil {
 			return err
 		}
@@ -270,18 +296,28 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV reads a dataset written by WriteCSV.
+// ReadCSV reads a dataset written by WriteCSV, either schema: v1
+// (features + targets) or v2 (features + targets + aux columns).
 func ReadCSV(r io.Reader) (*Dataset, error) {
 	cr := csv.NewReader(r)
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: reading header: %w", err)
 	}
-	var features, apps []string
+	var features, apps, auxNames []string
 	for _, h := range header {
-		if strings.HasPrefix(h, targetPrefix) {
+		switch {
+		case strings.HasPrefix(h, auxPrefix):
+			if len(apps) == 0 {
+				return nil, fmt.Errorf("dataset: aux column %q before target columns", h)
+			}
+			auxNames = append(auxNames, h)
+		case strings.HasPrefix(h, targetPrefix):
+			if len(auxNames) > 0 {
+				return nil, fmt.Errorf("dataset: target column %q after aux columns", h)
+			}
 			apps = append(apps, strings.TrimPrefix(h, targetPrefix))
-		} else {
+		default:
 			if len(apps) > 0 {
 				return nil, fmt.Errorf("dataset: feature column %q after target columns", h)
 			}
@@ -291,7 +327,7 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	if len(apps) == 0 {
 		return nil, fmt.Errorf("dataset: no target columns in header")
 	}
-	d := New(features, apps)
+	d := NewWithAux(features, apps, auxNames)
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -317,6 +353,13 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 				return nil, fmt.Errorf("dataset: line %d target %s: %w", line, a, err)
 			}
 			d.Y[a] = append(d.Y[a], v)
+		}
+		for j, n := range auxNames {
+			v, err := strconv.ParseFloat(rec[len(features)+len(apps)+j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d aux %s: %w", line, n, err)
+			}
+			d.Aux[n] = append(d.Aux[n], v)
 		}
 	}
 	return d, nil

@@ -41,15 +41,29 @@ type StreamWriter struct {
 	w            *csv.Writer
 	featureNames []string
 	apps         []string
+	auxNames     []string
 	meta         string
 	done         map[int]bool
 	closed       bool
 }
 
-// CreateStream starts a fresh journal at path (truncating any existing
-// file) with the given feature and target columns. A non-empty meta string
-// is recorded in the header and must match on ResumeStream.
+// AuxNames returns the journal's auxiliary column set; empty for a
+// schema-v1 journal (including a v1 journal a v2 run degraded to on
+// resume).
+func (s *StreamWriter) AuxNames() []string {
+	return append([]string(nil), s.auxNames...)
+}
+
+// CreateStream starts a fresh schema-v1 journal at path (truncating any
+// existing file) with the given feature and target columns. A non-empty
+// meta string is recorded in the header and must match on ResumeStream.
 func CreateStream(path string, featureNames, apps []string, meta string) (*StreamWriter, error) {
+	return CreateStreamAux(path, featureNames, apps, nil, meta)
+}
+
+// CreateStreamAux is CreateStream with auxiliary columns (schema v2); nil
+// auxNames writes the v1 layout.
+func CreateStreamAux(path string, featureNames, apps, auxNames []string, meta string) (*StreamWriter, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
@@ -59,6 +73,7 @@ func CreateStream(path string, featureNames, apps []string, meta string) (*Strea
 		w:            csv.NewWriter(f),
 		featureNames: append([]string(nil), featureNames...),
 		apps:         append([]string(nil), apps...),
+		auxNames:     append([]string(nil), auxNames...),
 		meta:         meta,
 		done:         make(map[int]bool),
 	}
@@ -82,6 +97,14 @@ func CreateStream(path string, featureNames, apps []string, meta string) (*Strea
 // different seed) is an error: appending would silently mix rows from two
 // different sampling streams.
 func ResumeStream(path string, featureNames, apps []string, meta string) (*StreamWriter, error) {
+	return ResumeStreamAux(path, featureNames, apps, nil, meta)
+}
+
+// ResumeStreamAux is ResumeStream with auxiliary columns. A journal written
+// without the aux columns (schema v1) resumes successfully with the aux
+// columns dropped — check AuxNames afterwards — so pre-v2 journals keep
+// working; any other column difference is an error.
+func ResumeStreamAux(path string, featureNames, apps, auxNames []string, meta string) (*StreamWriter, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
@@ -89,6 +112,7 @@ func ResumeStream(path string, featureNames, apps []string, meta string) (*Strea
 	s := &StreamWriter{
 		featureNames: append([]string(nil), featureNames...),
 		apps:         append([]string(nil), apps...),
+		auxNames:     append([]string(nil), auxNames...),
 		meta:         meta,
 		done:         make(map[int]bool),
 	}
@@ -100,6 +124,13 @@ func ResumeStream(path string, featureNames, apps []string, meta string) (*Strea
 		return nil, fmt.Errorf("dataset: resuming %s: reading header: %w", path, err)
 	}
 	want := s.header()
+	if len(s.auxNames) > 0 && len(header) == len(want)-len(s.auxNames) {
+		// The journal may predate this run's aux columns: a v1 header is
+		// the same layout minus the aux block. Degrade to v1 so old
+		// journals resume (the column-by-column check below still runs).
+		s.auxNames = nil
+		want = s.header()
+	}
 	if len(header) != len(want) {
 		f.Close()
 		return nil, fmt.Errorf("dataset: resuming %s: journal has %d columns, want %d", path, len(header), len(want))
@@ -152,6 +183,7 @@ func (s *StreamWriter) header() []string {
 	for _, a := range s.apps {
 		h = append(h, targetPrefix+a)
 	}
+	h = append(h, s.auxNames...)
 	if s.meta != "" {
 		h = append(h, journalMetaPrefix+s.meta)
 	}
@@ -162,12 +194,19 @@ func (s *StreamWriter) header() []string {
 // process loses at most the record being written. A failed row records the
 // features with zero targets and failed=1; failed rows still mark their
 // index done so a resumed run does not re-simulate them. A nil targets map
-// is allowed for failed rows.
+// is allowed for failed rows. On a journal with aux columns the row's aux
+// values are zero — use AppendFull to supply them.
 func (s *StreamWriter) Append(index int, failed bool, features []float64, targets map[string]float64) error {
+	return s.AppendFull(index, failed, features, targets, nil)
+}
+
+// AppendFull is Append with the row's auxiliary values; missing (or all,
+// via nil map) aux values journal as zero, mirroring failed rows' targets.
+func (s *StreamWriter) AppendFull(index int, failed bool, features []float64, targets, aux map[string]float64) error {
 	if len(features) != len(s.featureNames) {
 		return fmt.Errorf("dataset: journal row has %d features, want %d", len(features), len(s.featureNames))
 	}
-	rec := make([]string, 0, 3+len(features)+len(s.apps))
+	rec := make([]string, 0, 3+len(features)+len(s.apps)+len(s.auxNames))
 	rec = append(rec, strconv.Itoa(index))
 	if failed {
 		rec = append(rec, "1")
@@ -179,6 +218,9 @@ func (s *StreamWriter) Append(index int, failed bool, features []float64, target
 	}
 	for _, a := range s.apps {
 		rec = append(rec, strconv.FormatFloat(targets[a], 'g', -1, 64))
+	}
+	for _, n := range s.auxNames {
+		rec = append(rec, strconv.FormatFloat(aux[n], 'g', -1, 64))
 	}
 	if s.meta != "" {
 		rec = append(rec, "")
@@ -258,11 +300,14 @@ func CompactStream(path string) (*Dataset, int, error) {
 	if strings.HasPrefix(cols[len(cols)-1], journalMetaPrefix) {
 		cols = cols[:len(cols)-1] // metadata column carries no row data
 	}
-	var features, apps []string
+	var features, apps, auxNames []string
 	for _, h := range cols[2:] {
-		if len(h) > len(targetPrefix) && h[:len(targetPrefix)] == targetPrefix {
+		switch {
+		case strings.HasPrefix(h, auxPrefix):
+			auxNames = append(auxNames, h)
+		case len(h) > len(targetPrefix) && h[:len(targetPrefix)] == targetPrefix:
 			apps = append(apps, h[len(targetPrefix):])
-		} else {
+		default:
 			features = append(features, h)
 		}
 	}
@@ -275,6 +320,7 @@ func CompactStream(path string) (*Dataset, int, error) {
 		index   int
 		feats   []float64
 		targets map[string]float64
+		aux     map[string]float64
 	}
 	var rows []row
 	failed := 0
@@ -293,7 +339,12 @@ func CompactStream(path string) (*Dataset, int, error) {
 			failed++
 			continue
 		}
-		r := row{index: idx, feats: make([]float64, len(features)), targets: make(map[string]float64, len(apps))}
+		r := row{
+			index:   idx,
+			feats:   make([]float64, len(features)),
+			targets: make(map[string]float64, len(apps)),
+			aux:     make(map[string]float64, len(auxNames)),
+		}
 		bad := false
 		for i := range features {
 			r.feats[i], err = strconv.ParseFloat(rec[2+i], 64)
@@ -310,15 +361,23 @@ func CompactStream(path string) (*Dataset, int, error) {
 			}
 			r.targets[a] = v
 		}
+		for j, n := range auxNames {
+			v, err := strconv.ParseFloat(rec[2+len(features)+len(apps)+j], 64)
+			if err != nil {
+				bad = true
+				break
+			}
+			r.aux[n] = v
+		}
 		if bad {
 			continue
 		}
 		rows = append(rows, r)
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].index < rows[j].index })
-	d := New(features, apps)
+	d := NewWithAux(features, apps, auxNames)
 	for _, r := range rows {
-		if err := d.Append(r.feats, r.targets); err != nil {
+		if err := d.AppendFull(r.feats, r.targets, r.aux); err != nil {
 			return nil, 0, err
 		}
 	}

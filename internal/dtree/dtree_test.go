@@ -203,8 +203,8 @@ func TestTreeInvariantsProperty(t *testing.T) {
 		for i := range x {
 			x[i] = []float64{float64(i), rng.Float64()}
 			y[i] = rng.Float64() * 1000
-			lo = math.Min(lo, y[i])
-			hi = math.Max(hi, y[i])
+			lo = min(lo, y[i])
+			hi = max(hi, y[i])
 		}
 		tree, err := Train(x, y, Options{})
 		if err != nil {

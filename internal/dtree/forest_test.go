@@ -112,8 +112,8 @@ func TestFeatureSubsampling(t *testing.T) {
 	}
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, y := range yTr {
-		lo = math.Min(lo, y)
-		hi = math.Max(hi, y)
+		lo = min(lo, y)
+		hi = max(hi, y)
 	}
 	for _, row := range xTe {
 		p := tree.Predict(row)

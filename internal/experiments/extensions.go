@@ -6,9 +6,9 @@ import (
 
 	"armdse/internal/dtree"
 	"armdse/internal/isa"
+	"armdse/internal/orchestrate"
 	"armdse/internal/params"
 	"armdse/internal/report"
-	"armdse/internal/simeng"
 	"armdse/internal/stats"
 )
 
@@ -23,6 +23,7 @@ func Extensions() []Runner {
 		{ID: "extprefetch", Title: "Prefetcher ablation (SST basic prefetching)", Run: ExtPrefetch},
 		{ID: "extforest", Title: "Random-forest surrogate (paper future work: richer models)", Run: ExtForest},
 		{ID: "extmulticore", Title: "Multi-core scaling under a shared memory controller (paper future work)", Run: ExtMulticore},
+		{ID: "extstalls", Title: "Stall-class ranking and per-class surrogates (top-down attribution)", Run: ExtStalls},
 	}
 }
 
@@ -109,7 +110,7 @@ func ExtPorts(ctx context.Context, opt Options) (Result, error) {
 			if err != nil {
 				return Result{}, err
 			}
-			st, err := simeng.Simulate(cfg.Core, cfg.Mem, prog.Stream())
+			st, err := orchestrate.Simulate(cfg, prog.Stream())
 			if err != nil {
 				return Result{}, err
 			}
@@ -244,12 +245,12 @@ func ExtPrefetch(ctx context.Context, opt Options) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		on, err := simeng.Simulate(cfg.Core, cfg.Mem, prog.Stream())
+		on, err := orchestrate.Simulate(cfg, prog.Stream())
 		if err != nil {
 			return Result{}, err
 		}
 		cfg.Mem.DisablePrefetch = true
-		off, err := simeng.Simulate(cfg.Core, cfg.Mem, prog.Stream())
+		off, err := orchestrate.Simulate(cfg, prog.Stream())
 		if err != nil {
 			return Result{}, err
 		}

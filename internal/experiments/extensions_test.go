@@ -8,12 +8,12 @@ import (
 
 func TestExtensionsRegistry(t *testing.T) {
 	exts := Extensions()
-	if len(exts) != 5 {
-		t.Fatalf("extensions = %d, want 5", len(exts))
+	if len(exts) != 6 {
+		t.Fatalf("extensions = %d, want 6", len(exts))
 	}
 	all := AllWithExtensions()
-	if len(all) != 17 {
-		t.Fatalf("all+ext = %d, want 17", len(all))
+	if len(all) != 18 {
+		t.Fatalf("all+ext = %d, want 18", len(all))
 	}
 	for _, e := range exts {
 		if !strings.HasPrefix(e.ID, "ext") {
@@ -129,6 +129,61 @@ func TestExtForest(t *testing.T) {
 		if len(row) != 5 {
 			t.Fatalf("row shape: %v", row)
 		}
+	}
+}
+
+func TestExtStalls(t *testing.T) {
+	opt := withData(t)
+	res, err := ExtStalls(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 2 {
+		t.Fatalf("tables = %d, want 2 (baseline + surrogates)", len(res.Tables))
+	}
+	base := res.Tables[0]
+	// One row per stall class, one column per app; each app's shares sum
+	// to ~100%.
+	if len(base.Rows) != 11 {
+		t.Fatalf("baseline rows = %d, want 11 stall classes", len(base.Rows))
+	}
+	for col := 1; col < len(base.Columns); col++ {
+		var sum float64
+		for _, row := range base.Rows {
+			sum += parseF(t, strings.TrimSuffix(row[col], "%"))
+		}
+		if sum < 99.5 || sum > 100.5 {
+			t.Errorf("%s shares sum to %.2f%%", base.Columns[col], sum)
+		}
+	}
+	surro := res.Tables[1]
+	if len(surro.Rows) != 4 {
+		t.Fatalf("surrogate rows = %d, want 4 apps", len(surro.Rows))
+	}
+	for _, row := range surro.Rows {
+		if row[1] == "busy" {
+			t.Errorf("%s: dominant stall class is busy", row[0])
+		}
+		if row[3] == "" {
+			t.Errorf("%s: no importance ranking", row[0])
+		}
+	}
+}
+
+func TestExtStallsV1DataSkipsSurrogates(t *testing.T) {
+	opt := withData(t)
+	// Strip the aux columns, as a dataset loaded from a pre-stall CSV
+	// would be.
+	v1 := *opt.Data
+	v1.AuxNames = nil
+	v1.Aux = nil
+	opt.Data = &v1
+	res, err := ExtStalls(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 1 {
+		t.Fatalf("tables = %d, want baseline only", len(res.Tables))
 	}
 }
 

@@ -4,9 +4,9 @@ import (
 	"context"
 	"fmt"
 
+	"armdse/internal/orchestrate"
 	"armdse/internal/params"
 	"armdse/internal/report"
-	"armdse/internal/simeng"
 )
 
 // ExtMulticore implements the paper's principal future-work direction — "the
@@ -57,7 +57,7 @@ func ExtMulticore(ctx context.Context, opt Options) (Result, error) {
 			if err != nil {
 				return Result{}, err
 			}
-			st, err := simeng.Simulate(cfg.Core, cfg.Mem, prog.Stream())
+			st, err := orchestrate.Simulate(cfg, prog.Stream())
 			if err != nil {
 				return Result{}, err
 			}

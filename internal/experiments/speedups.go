@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"sync"
 
+	"armdse/internal/orchestrate"
 	"armdse/internal/params"
 	"armdse/internal/report"
-	"armdse/internal/simeng"
 	"armdse/internal/stats"
 	"armdse/internal/workload"
 )
@@ -84,7 +84,7 @@ func runSweep(ctx context.Context, opt Options, levels []int,
 					errCh <- err
 					return
 				}
-				st, err := simeng.Simulate(j.cfg.Core, j.cfg.Mem, prog.Stream())
+				st, err := orchestrate.Simulate(j.cfg, prog.Stream())
 				if err != nil {
 					errCh <- fmt.Errorf("%s: %w", app.Name(), err)
 					return

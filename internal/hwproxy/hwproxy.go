@@ -7,6 +7,19 @@
 // model). The paper attributes its 6-37% Table I discrepancies to exactly
 // that memory-backend simplification, so the substitution reproduces the
 // mechanism of the error rather than its exact magnitudes (see DESIGN.md).
+//
+// # Fidelity contract
+//
+// Backend is the package's simeng.MemoryBackend implementation. It wraps
+// sstmem.Hierarchy but pins Fidelity to High, whatever the caller's config
+// says, and that is the whole point: sstmem.Hierarchy with Basic fidelity is
+// the model under study (infinite banks, next-line prefetch, flat DRAM),
+// while hwproxy.Backend is the reference it is validated against (finite
+// banks, stride prefetch, row buffers). Code that asks for the proxy gets
+// the reference behaviour unconditionally — it can never silently degrade
+// into the model it is supposed to check. Everything else about the
+// MemoryBackend contract (single consumer, non-decreasing access cycles,
+// event-timed so Tick is a no-op) is inherited from sstmem.
 package hwproxy
 
 import (
@@ -15,6 +28,25 @@ import (
 	"armdse/internal/sstmem"
 	"armdse/internal/workload"
 )
+
+// Backend is the hardware-proxy memory backend: an sstmem hierarchy forced
+// to High fidelity (see the fidelity contract in the package comment).
+type Backend struct {
+	*sstmem.Hierarchy
+}
+
+var _ simeng.MemoryBackend = (*Backend)(nil)
+
+// NewBackend builds the proxy backend from cfg, overriding cfg.Fidelity
+// with sstmem.High.
+func NewBackend(cfg sstmem.Config) (*Backend, error) {
+	cfg.Fidelity = sstmem.High
+	h, err := sstmem.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Backend{Hierarchy: h}, nil
+}
 
 // BaselineSim returns the study's simulation baseline: the ThunderX2 point
 // with the Basic (SST-like) memory model.
@@ -32,18 +64,27 @@ func BaselineHW() params.Config {
 
 // SimulatedCycles runs w on the study's simulation baseline.
 func SimulatedCycles(w workload.Workload) (simeng.Stats, error) {
-	return run(BaselineSim(), w)
+	h, err := sstmem.New(BaselineSim().Mem)
+	if err != nil {
+		return simeng.Stats{}, err
+	}
+	return run(BaselineSim(), h, w)
 }
 
 // HardwareCycles runs w on the hardware proxy.
 func HardwareCycles(w workload.Workload) (simeng.Stats, error) {
-	return run(BaselineHW(), w)
+	cfg := BaselineHW()
+	b, err := NewBackend(cfg.Mem)
+	if err != nil {
+		return simeng.Stats{}, err
+	}
+	return run(cfg, b, w)
 }
 
-func run(cfg params.Config, w workload.Workload) (simeng.Stats, error) {
+func run(cfg params.Config, mem simeng.MemoryBackend, w workload.Workload) (simeng.Stats, error) {
 	p, err := w.Program(cfg.Core.VectorLength)
 	if err != nil {
 		return simeng.Stats{}, err
 	}
-	return simeng.Simulate(cfg.Core, cfg.Mem, p.Stream())
+	return simeng.Simulate(cfg.Core, mem, p.Stream())
 }

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"armdse/internal/simeng"
 	"armdse/internal/sstmem"
 	"armdse/internal/workload"
 )
@@ -52,5 +53,51 @@ func TestSimVsHardwareDiverge(t *testing.T) {
 	}
 	if hw.Mem.RowHits+hw.Mem.RowMisses == 0 {
 		t.Error("hardware proxy recorded no DRAM row activity")
+	}
+}
+
+// TestBackendForcesHighFidelity pins the fidelity contract: whatever the
+// caller's config says, the proxy backend runs the High-fidelity model.
+func TestBackendForcesHighFidelity(t *testing.T) {
+	cfg := BaselineSim() // Basic fidelity on purpose
+	b, err := NewBackend(cfg.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Config().Fidelity; got != sstmem.High {
+		t.Fatalf("proxy backend fidelity %v, want High", got)
+	}
+}
+
+// TestBackendEndToEnd runs a workload through a core wired to the proxy
+// backend via the MemoryBackend seam and checks it behaves like the
+// HardwareCycles path (which is the same pairing).
+func TestBackendEndToEnd(t *testing.T) {
+	w := workload.NewSTREAM(workload.STREAMInputs{ArraySize: 4096, Times: 1})
+	cfg := BaselineHW()
+	prog, err := w.Program(cfg.Core.VectorLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBackend(cfg.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := simeng.Simulate(cfg.Core, b, prog.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := HardwareCycles(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles != want.Cycles {
+		t.Fatalf("backend path %d cycles, HardwareCycles path %d", st.Cycles, want.Cycles)
+	}
+	if st.Stalls.Total() != st.Cycles {
+		t.Fatalf("stall sum %d != cycles %d", st.Stalls.Total(), st.Cycles)
+	}
+	if st.Mem.RowHits+st.Mem.RowMisses == 0 {
+		t.Error("proxy backend recorded no DRAM row activity")
 	}
 }

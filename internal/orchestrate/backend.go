@@ -1,0 +1,68 @@
+package orchestrate
+
+import (
+	"fmt"
+
+	"armdse/internal/hwproxy"
+	"armdse/internal/isa"
+	"armdse/internal/params"
+	"armdse/internal/simeng"
+	"armdse/internal/sstmem"
+)
+
+// Memory-backend selection. Every simulation in the pipeline runs a core
+// against a simeng.MemoryBackend; which implementation is chosen by name so
+// the selection can ride a CLI flag (dserun -mem=...) or an Engine field
+// without the callers importing the concrete packages.
+const (
+	// BackendSST is the study's default: the SST-like L1/L2/RAM hierarchy.
+	BackendSST = "sst"
+	// BackendFlat is an ideal fixed-latency memory (every access hits at
+	// the configuration's L1 latency) — the reference for isolating
+	// core-bound behaviour.
+	BackendFlat = "flat"
+	// BackendProxy is the high-fidelity hardware-proxy model used as the
+	// Table I "hardware" reference.
+	BackendProxy = "proxy"
+)
+
+// Backends lists the selectable backend names.
+func Backends() []string { return []string{BackendSST, BackendFlat, BackendProxy} }
+
+// NewBackend builds the named memory backend for a design-space point. An
+// empty kind selects BackendSST, the study's default.
+func NewBackend(kind string, cfg params.Config) (simeng.MemoryBackend, error) {
+	switch kind {
+	case "", BackendSST:
+		return sstmem.New(cfg.Mem)
+	case BackendFlat:
+		mc := cfg.Mem
+		if mc.CoreClockGHz == 0 {
+			mc.CoreClockGHz = sstmem.DefaultCoreClockGHz
+		}
+		if err := mc.Validate(); err != nil {
+			return nil, err
+		}
+		return simeng.NewFlatMem(mc.L1LatencyCore(), mc.CacheLineWidth, 0)
+	case BackendProxy:
+		return hwproxy.NewBackend(cfg.Mem)
+	default:
+		return nil, fmt.Errorf("orchestrate: unknown memory backend %q (want one of %v)", kind, Backends())
+	}
+}
+
+// Simulate runs stream on a fresh core over the default (SST-like) backend
+// built from cfg — the study's standard core/memory pairing.
+func Simulate(cfg params.Config, stream isa.Stream) (simeng.Stats, error) {
+	return SimulateOn(BackendSST, cfg, stream)
+}
+
+// SimulateOn runs stream on a fresh core over the named backend built from
+// cfg.
+func SimulateOn(backend string, cfg params.Config, stream isa.Stream) (simeng.Stats, error) {
+	mem, err := NewBackend(backend, cfg)
+	if err != nil {
+		return simeng.Stats{}, err
+	}
+	return simeng.Simulate(cfg.Core, mem, stream)
+}

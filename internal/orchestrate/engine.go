@@ -67,6 +67,10 @@ type Row struct {
 	// Targets maps application name to simulated cycles; nil when Err is
 	// non-nil.
 	Targets map[string]float64
+	// Stalls maps application name to the run's per-class stall
+	// breakdown (each sums to that run's cycles); nil when Err is
+	// non-nil.
+	Stalls map[string]simeng.StallBreakdown
 	// Cycles is the total number of cycles simulated across the suite.
 	Cycles int64
 	// Err records the first per-run failure; nil for a clean row.
@@ -110,6 +114,9 @@ type Engine struct {
 	Suite []workload.Workload
 	// Sink receives every completed row; required.
 	Sink RowSink
+	// Backend selects the memory backend by name (BackendSST, BackendFlat,
+	// BackendProxy); empty uses BackendSST, the study's default.
+	Backend string
 	// Workers bounds the worker pool; 0 uses GOMAXPROCS.
 	Workers int
 	// MaxCyclesPerRun aborts pathological runs; 0 uses the engine
@@ -244,32 +251,35 @@ func (e *Engine) runConfig(cache *programCache, i int, maxCycles int64) Row {
 	cfg := e.Source.At(i)
 	row := Row{Index: i, Config: cfg, Features: cfg.Features()}
 	targets := make(map[string]float64, len(e.Suite))
+	stalls := make(map[string]simeng.StallBreakdown, len(e.Suite))
 	for _, w := range e.Suite {
 		prog, err := cache.get(w, cfg.Core.VectorLength)
 		if err != nil {
 			row.Err = err
 			return row
 		}
-		st, err := simulateLimited(cfg, prog, maxCycles)
+		st, err := simulateLimited(e.Backend, cfg, prog, maxCycles)
 		row.Cycles += st.Cycles
 		if err != nil {
 			row.Err = fmt.Errorf("%s: %w", w.Name(), err)
 			return row
 		}
 		targets[w.Name()] = float64(st.Cycles)
+		stalls[w.Name()] = st.Stalls
 	}
 	row.Targets = targets
+	row.Stalls = stalls
 	return row
 }
 
-// simulateLimited builds a fresh core/hierarchy and runs prog's stream
+// simulateLimited builds a fresh core/backend pair and runs prog's stream
 // under the cycle budget.
-func simulateLimited(cfg params.Config, prog *workload.Program, maxCycles int64) (simeng.Stats, error) {
-	h, err := newHierarchy(cfg)
+func simulateLimited(backend string, cfg params.Config, prog *workload.Program, maxCycles int64) (simeng.Stats, error) {
+	mem, err := NewBackend(backend, cfg)
 	if err != nil {
 		return simeng.Stats{}, err
 	}
-	c, err := simeng.New(cfg.Core, h)
+	c, err := simeng.New(cfg.Core, mem)
 	if err != nil {
 		return simeng.Stats{}, err
 	}

@@ -33,6 +33,9 @@ type Options struct {
 	Workers int
 	// Suite is the workload set; nil uses workload.TestSuite().
 	Suite []workload.Workload
+	// Backend selects the memory backend by name (BackendSST, BackendFlat,
+	// BackendProxy); empty uses BackendSST, the study's default.
+	Backend string
 	// MaxCyclesPerRun aborts pathological runs; 0 uses the engine default.
 	MaxCyclesPerRun int64
 	// Validate runs each workload's functional validation before
@@ -71,13 +74,18 @@ type Result struct {
 // RunOne simulates a single (configuration, workload) pair under the
 // engine's default cycle budget.
 func RunOne(cfg params.Config, w workload.Workload) (simeng.Stats, error) {
-	return RunOneLimited(cfg, w, 0)
+	return RunOneOn(BackendSST, cfg, w, 0)
 }
 
 // RunOneLimited simulates a single (configuration, workload) pair under
 // the given cycle budget — the same protection batch collection gets from
 // Options.MaxCyclesPerRun. maxCycles <= 0 uses the engine default.
 func RunOneLimited(cfg params.Config, w workload.Workload, maxCycles int64) (simeng.Stats, error) {
+	return RunOneOn(BackendSST, cfg, w, maxCycles)
+}
+
+// RunOneOn is RunOneLimited with an explicit memory backend selection.
+func RunOneOn(backend string, cfg params.Config, w workload.Workload, maxCycles int64) (simeng.Stats, error) {
 	p, err := w.Program(cfg.Core.VectorLength)
 	if err != nil {
 		return simeng.Stats{}, fmt.Errorf("orchestrate: %s: %w", w.Name(), err)
@@ -85,7 +93,7 @@ func RunOneLimited(cfg params.Config, w workload.Workload, maxCycles int64) (sim
 	if maxCycles <= 0 {
 		maxCycles = simeng.DefaultMaxCycles
 	}
-	return simulateLimited(cfg, p, maxCycles)
+	return simulateLimited(backend, cfg, p, maxCycles)
 }
 
 // Collect runs the full pipeline. Configurations whose simulation fails
@@ -126,6 +134,7 @@ func Collect(ctx context.Context, opt Options) (Result, error) {
 		Source:          IndexedSource{Seed: opt.Seed, N: opt.Samples},
 		Suite:           suite,
 		Sink:            sink,
+		Backend:         opt.Backend,
 		Workers:         opt.Workers,
 		MaxCyclesPerRun: opt.MaxCyclesPerRun,
 		ShardIndex:      opt.ShardIndex,

@@ -5,7 +5,32 @@ import (
 	"sync"
 
 	"armdse/internal/dataset"
+	"armdse/internal/simeng"
 )
+
+// StallColumns returns the auxiliary column names a collection over the
+// given applications emits: one dataset.StallColumn per (app, stall class)
+// pair, app-major, classes in simeng enum order.
+func StallColumns(apps []string) []string {
+	return dataset.StallColumns(apps, simeng.StallClassNames())
+}
+
+// StallAux flattens the row's per-app stall breakdowns into auxiliary
+// column values keyed by dataset.StallColumn; nil when the row carries no
+// breakdowns (failed rows).
+func (r Row) StallAux() map[string]float64 {
+	if r.Stalls == nil {
+		return nil
+	}
+	classes := simeng.StallClassNames()
+	out := make(map[string]float64, len(r.Stalls)*len(classes))
+	for app, b := range r.Stalls {
+		for c, name := range classes {
+			out[dataset.StallColumn(app, name)] = float64(b[c])
+		}
+	}
+	return out
+}
 
 // DatasetSink buffers completed rows in memory and materialises them as a
 // dataset.Dataset sorted by global index, so the result is identical
@@ -41,14 +66,22 @@ func (s *DatasetSink) Dataset() (*dataset.Dataset, int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sort.Slice(s.rows, func(i, j int) bool { return s.rows[i].Index < s.rows[j].Index })
-	d := dataset.New(s.featureNames, s.apps)
+	d := dataset.NewWithAux(s.featureNames, s.apps, StallColumns(s.apps))
 	failed := 0
 	for _, r := range s.rows {
 		if r.Failed() {
 			failed++
 			continue
 		}
-		if err := d.Append(r.Features, r.Targets); err != nil {
+		aux := r.StallAux()
+		if aux == nil {
+			// Rows without breakdowns (hand-built sources) pad zeros.
+			if err := d.Append(r.Features, r.Targets); err != nil {
+				return nil, 0, err
+			}
+			continue
+		}
+		if err := d.AppendFull(r.Features, r.Targets, aux); err != nil {
 			return nil, 0, err
 		}
 	}
@@ -80,5 +113,5 @@ type StreamSink struct {
 
 // Put implements RowSink.
 func (s StreamSink) Put(row Row) error {
-	return s.W.Append(row.Index, row.Failed(), row.Features, row.Targets)
+	return s.W.AppendFull(row.Index, row.Failed(), row.Features, row.Targets, row.StallAux())
 }

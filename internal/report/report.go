@@ -98,7 +98,7 @@ func BarChart(title string, labels []string, values []float64, width int) string
 	maxAbs := 0.0
 	maxLabel := 0
 	for i, v := range values {
-		maxAbs = math.Max(maxAbs, math.Abs(v))
+		maxAbs = max(maxAbs, math.Abs(v))
 		if i < len(labels) && len(labels[i]) > maxLabel {
 			maxLabel = len(labels[i])
 		}

@@ -1,0 +1,50 @@
+package simeng
+
+import "armdse/internal/isa"
+
+// commitStage retires finished instructions from the head of the window, in
+// program order, up to CommitWidth per cycle. Committed stores hand their
+// write to the LSQ's post-commit drain queue. Each retirement is posted to
+// the stall bus — a cycle with any commit is a Busy cycle.
+func (c *Core) commitStage() {
+	for n := 0; n < c.cfg.CommitWidth && c.seqCommitted < c.seqDispatched; n++ {
+		e := &c.window[c.seqCommitted%c.cp]
+		if e.state != stExec || e.resultAt > c.cycle {
+			return
+		}
+		if c.tracer != nil {
+			c.tracer(TraceEvent{
+				Seq:        c.seqCommitted,
+				PC:         e.pc,
+				Op:         e.op,
+				SVE:        e.sve,
+				Dispatched: e.dispatchedAt,
+				Done:       e.resultAt,
+				Committed:  c.cycle,
+			})
+		}
+		c.stats.Retired++
+		c.bus.committed++
+		if e.sve {
+			c.stats.SVERetired++
+		}
+		switch e.op {
+		case isa.Load:
+			c.stats.Loads++
+			c.lsq.lqCount--
+		case isa.Store:
+			c.stats.Stores++
+			// The write drains post-commit; the SQ entry is held until
+			// its line requests have issued.
+			c.lsq.storeWriteQ.Push(storeWrite{nextLine: e.addr, startAddr: e.addr, endAddr: e.endAddr})
+		case isa.Branch:
+			c.stats.Branches++
+		}
+		for i := 0; i < int(e.nd); i++ {
+			c.rename.inFlight[e.destClass[i]]--
+		}
+		e.state = stFree
+		c.seqCommitted++
+		c.progress = true
+	}
+}

@@ -5,7 +5,9 @@
 // files of all four classes, the reorder buffer and load/store queues, the
 // commit and LSQ-completion widths, and the per-cycle memory-operation and
 // bandwidth limits; the execution back-end (ports, reservation station,
-// latencies) is fixed per §V-A. Memory accesses go to an sstmem.Hierarchy.
+// latencies) is fixed per §V-A. Memory accesses go to a MemoryBackend —
+// the study's sstmem.Hierarchy, the ideal FlatMem, or any other
+// implementation; the core never depends on a concrete memory model.
 //
 // The trace is pre-resolved (execution-driven with known outcomes), so there
 // is no branch misprediction modelling; taken branches still break fetch

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"armdse/internal/isa"
-	"armdse/internal/sstmem"
 )
 
 // doneNever marks a result time that is not yet known.
@@ -90,31 +89,15 @@ type TraceEvent struct {
 	Committed  int64
 }
 
-// loadReq is a load whose address generation completes at availableAt.
-type loadReq struct {
-	seq         int64
-	availableAt int64
-}
-
-// storeWrite is a committed store draining to memory.
-type storeWrite struct {
-	nextLine  uint64
-	startAddr uint64
-	endAddr   uint64
-}
-
-// portState is one execution port.
-type portState struct {
-	accept isa.GroupSet
-	freeAt int64
-}
-
-// Core is one out-of-order core wired to a memory hierarchy. A Core runs a
-// single instruction stream and is then exhausted; build a new Core (and
-// hierarchy) per run.
+// Core is one out-of-order core wired to a MemoryBackend. The pipeline is
+// split into stage components — fetchUnit, renameUnit, issueUnit, lsqUnit —
+// each owning its stage's private state; the shared window, sequence
+// counters, event heap and stallBus live on the Core. A Core runs a single
+// instruction stream and is then exhausted; build a new Core (and backend)
+// per run.
 type Core struct {
 	cfg       Config
-	mem       *sstmem.Hierarchy
+	mem       MemoryBackend
 	lineBytes uint64
 
 	window []entry
@@ -124,43 +107,20 @@ type Core struct {
 	seqDispatched int64
 	seqCommitted  int64
 
-	regProducer [isa.NumRegClasses][]int64
-	inFlight    [isa.NumRegClasses]int
-	physAvail   [isa.NumRegClasses]int
+	// fetchQ and renameQ are the inter-stage latches (fetch→rename and
+	// rename→dispatch); they stay on the Core because each is shared by
+	// its producer and consumer stage.
+	fetchQ  ring[isa.Inst]
+	renameQ ring[renamed]
+	// events is the idle-skip heap: stages post future wake-up cycles so a
+	// no-progress cycle can jump straight to the next one with work.
+	events int64Heap
 
-	// rsCount is the reservation-station occupancy (dispatched, not yet
-	// issued). Ready entries are tracked event-style: when an entry's
-	// last source resolves it enters readyHeap keyed by its ready cycle,
-	// and issueStage drains due entries into readyList (sorted by age)
-	// where they wait only for ports — no per-cycle RS scan.
-	rsCount   int
-	readyHeap seqHeap
-	readyList []int64
-	ports     []portState
-
-	fetchQ      ring[isa.Inst]
-	renameQ     ring[renamed]
-	loadReqQ    ring[loadReq]
-	storeWriteQ ring[storeWrite]
-	loadHeap    seqHeap
-	events      int64Heap
-
-	lqCount, sqCount int
-
-	stream     isa.Stream
-	peek       isa.Inst
-	havePeek   bool
-	streamDone bool
-	lbActive   bool
-	lbBranchPC uint64
-	lbSeen     int
-
-	// Byte-bandwidth credits persist across cycles (capped at one cycle's
-	// allowance) so accesses wider than the per-cycle bandwidth drain
-	// over multiple cycles instead of wedging.
-	loadCredit   int64
-	storeCredit  int64
-	lastMemCycle int64
+	fetch  fetchUnit
+	rename renameUnit
+	issue  issueUnit
+	lsq    lsqUnit
+	bus    stallBus
 
 	cycle    int64
 	progress bool
@@ -174,51 +134,39 @@ type Core struct {
 // before Run.
 func (c *Core) SetTracer(fn func(TraceEvent)) { c.tracer = fn }
 
-// New builds a core from cfg attached to the given memory hierarchy.
-func New(cfg Config, mem *sstmem.Hierarchy) (*Core, error) {
+// New builds a core from cfg attached to the given memory backend.
+func New(cfg Config, mem MemoryBackend) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if mem == nil {
-		return nil, fmt.Errorf("simeng: nil memory hierarchy")
+		return nil, fmt.Errorf("simeng: nil memory backend")
+	}
+	lb := mem.LineBytes()
+	if lb < 4 || lb&(lb-1) != 0 {
+		return nil, fmt.Errorf("simeng: backend line size %d not a power of two >= 4", lb)
 	}
 	c := &Core{
-		cfg:         cfg,
-		mem:         mem,
-		lineBytes:   uint64(mem.LineBytes()),
-		window:      make([]entry, cfg.ROBSize),
-		cp:          int64(cfg.ROBSize),
-		fetchQ:      newRing[isa.Inst](192),
-		renameQ:     newRing[renamed](16),
-		loadReqQ:    newRing[loadReq](cfg.LoadQueueSize),
-		storeWriteQ: newRing[storeWrite](cfg.StoreQueueSize),
+		cfg:       cfg,
+		mem:       mem,
+		lineBytes: uint64(lb),
+		window:    make([]entry, cfg.ROBSize),
+		cp:        int64(cfg.ROBSize),
+		fetchQ:    newRing[isa.Inst](192),
+		renameQ:   newRing[renamed](16),
 	}
-	for _, p := range cfg.EffectivePorts() {
-		c.ports = append(c.ports, portState{accept: p.Accept})
-	}
-	c.stats.PortIssued = make([]int64, len(c.ports))
-	for cl := 0; cl < isa.NumRegClasses; cl++ {
-		arch := isa.RegClass(cl).ArchRegs()
-		c.regProducer[cl] = make([]int64, arch)
-		for i := range c.regProducer[cl] {
-			c.regProducer[cl][i] = -1
-		}
-	}
-	c.physAvail[isa.GP] = cfg.GPRegisters - isa.GP.ArchRegs()
-	c.physAvail[isa.FP] = cfg.FPSVERegisters - isa.FP.ArchRegs()
-	c.physAvail[isa.Pred] = cfg.PredRegisters - isa.Pred.ArchRegs()
-	c.physAvail[isa.Cond] = cfg.CondRegisters - isa.Cond.ArchRegs()
+	c.lsq.init(cfg)
+	c.issue.init(cfg)
+	c.rename.init(cfg)
+	c.stats.PortIssued = make([]int64, len(c.issue.ports))
 	return c, nil
 }
 
-// Simulate runs stream on a fresh core/hierarchy pair and returns the run
-// statistics. It is the package's primary entry point.
-func Simulate(core Config, mem sstmem.Config, stream isa.Stream) (Stats, error) {
-	h, err := sstmem.New(mem)
-	if err != nil {
-		return Stats{}, err
-	}
-	c, err := New(core, h)
+// Simulate runs stream on a fresh core attached to mem and returns the run
+// statistics. It is the package's primary entry point; callers that want the
+// study's SST-like hierarchy build it with sstmem.New and pass it here.
+func Simulate(core Config, mem MemoryBackend, stream isa.Stream) (Stats, error) {
+	c, err := New(core, mem)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -235,13 +183,20 @@ func (c *Core) Run(stream isa.Stream) (Stats, error) {
 }
 
 // RunLimit is Run with an explicit cycle budget.
+//
+// Each simulated step runs the stages in reverse pipeline order, then
+// charges the step's cycles to exactly one StallClass from the stallBus
+// reports (idle-skipped cycles all go to the class that blocked the skip),
+// so Stats.Stalls sums to Stats.Cycles on every successful run.
 func (c *Core) RunLimit(stream isa.Stream, maxCycles int64) (Stats, error) {
-	if c.stream != nil {
+	if c.fetch.stream != nil {
 		return Stats{}, fmt.Errorf("simeng: core already used; build a new one per run")
 	}
-	c.stream = stream
+	c.fetch.stream = stream
 	for {
 		c.progress = false
+		c.bus.reset()
+		c.mem.Tick(c.cycle)
 		c.drainStaleEvents()
 		c.commitStage()
 		c.memoryStage()
@@ -252,7 +207,11 @@ func (c *Core) RunLimit(stream isa.Stream, maxCycles int64) (Stats, error) {
 		if c.runErr != nil {
 			return c.stats, c.runErr
 		}
+		class := c.classifyCycle()
 		if c.finished() {
+			// The final cycle is counted in Cycles (== c.cycle+1), so it
+			// gets one attribution too.
+			c.stats.Stalls[class]++
 			break
 		}
 		occ := c.seqDispatched - c.seqCommitted
@@ -272,8 +231,9 @@ func (c *Core) RunLimit(stream isa.Stream, maxCycles int64) (Stats, error) {
 			c.cycle = next
 		}
 		elapsed := c.cycle - prevCycle
+		c.stats.Stalls[class] += elapsed
 		c.stats.ROBOccupancy += occ * elapsed
-		c.stats.RSOccupancy += int64(c.rsCount) * elapsed
+		c.stats.RSOccupancy += int64(c.issue.rsCount) * elapsed
 		if c.cycle > maxCycles {
 			return c.stats, fmt.Errorf("simeng: exceeded cycle limit %d with %d retired", maxCycles, c.stats.Retired)
 		}
@@ -285,10 +245,10 @@ func (c *Core) RunLimit(stream isa.Stream, maxCycles int64) (Stats, error) {
 
 // finished reports whether all work has drained.
 func (c *Core) finished() bool {
-	return c.streamDone && !c.havePeek &&
+	return c.fetch.streamDone && !c.fetch.havePeek &&
 		c.fetchQ.Empty() && c.renameQ.Empty() &&
 		c.seqCommitted == c.seqRenamed &&
-		c.storeWriteQ.Empty()
+		c.lsq.storeWriteQ.Empty()
 }
 
 // drainStaleEvents discards event timestamps at or before the current cycle,
@@ -303,496 +263,5 @@ func (c *Core) drainStaleEvents() {
 func (c *Core) fail(format string, args ...any) {
 	if c.runErr == nil {
 		c.runErr = fmt.Errorf(format, args...)
-	}
-}
-
-// ---------------------------------------------------------------- commit --
-
-func (c *Core) commitStage() {
-	for n := 0; n < c.cfg.CommitWidth && c.seqCommitted < c.seqDispatched; n++ {
-		e := &c.window[c.seqCommitted%c.cp]
-		if e.state != stExec || e.resultAt > c.cycle {
-			return
-		}
-		if c.tracer != nil {
-			c.tracer(TraceEvent{
-				Seq:        c.seqCommitted,
-				PC:         e.pc,
-				Op:         e.op,
-				SVE:        e.sve,
-				Dispatched: e.dispatchedAt,
-				Done:       e.resultAt,
-				Committed:  c.cycle,
-			})
-		}
-		c.stats.Retired++
-		if e.sve {
-			c.stats.SVERetired++
-		}
-		switch e.op {
-		case isa.Load:
-			c.stats.Loads++
-			c.lqCount--
-		case isa.Store:
-			c.stats.Stores++
-			// The write drains post-commit; the SQ entry is held until
-			// its line requests have issued.
-			c.storeWriteQ.Push(storeWrite{nextLine: e.addr, startAddr: e.addr, endAddr: e.endAddr})
-		case isa.Branch:
-			c.stats.Branches++
-		}
-		for i := 0; i < int(e.nd); i++ {
-			c.inFlight[e.destClass[i]]--
-		}
-		e.state = stFree
-		c.seqCommitted++
-		c.progress = true
-	}
-}
-
-// ---------------------------------------------------------------- memory --
-
-func (c *Core) memoryStage() {
-	completions := c.cfg.LSQCompletionWidth
-	requests := c.cfg.MemRequestsPerCycle
-	loadOps := c.cfg.MemLoadsPerCycle
-	storeOps := c.cfg.MemStoresPerCycle
-
-	// Replenish bandwidth credits for the cycles elapsed since the last
-	// visit, capped at one cycle's allowance.
-	delta := c.cycle - c.lastMemCycle
-	if delta < 1 {
-		delta = 1
-	}
-	c.lastMemCycle = c.cycle
-	c.loadCredit += delta * int64(c.cfg.LoadBandwidth)
-	if c.loadCredit > int64(c.cfg.LoadBandwidth) {
-		c.loadCredit = int64(c.cfg.LoadBandwidth)
-	}
-	c.storeCredit += delta * int64(c.cfg.StoreBandwidth)
-	if c.storeCredit > int64(c.cfg.StoreBandwidth) {
-		c.storeCredit = int64(c.cfg.StoreBandwidth)
-	}
-
-	// Load writebacks: data that has returned claims LSQ completion slots.
-	for completions > 0 && c.loadHeap.Len() > 0 && c.loadHeap.Min().at <= c.cycle {
-		ev := c.loadHeap.Pop()
-		e := &c.window[ev.seq%c.cp]
-		e.resultAt = c.cycle
-		e.state = stExec
-		c.resolveWaiters(e, c.cycle)
-		completions--
-		c.progress = true
-	}
-
-	// Load line requests: head-of-queue loads split into per-line requests
-	// under the request/kind/byte budgets.
-	for !c.loadReqQ.Empty() {
-		lr := c.loadReqQ.Peek()
-		if lr.availableAt > c.cycle {
-			break
-		}
-		e := &c.window[lr.seq%c.cp]
-		blocked := false
-		for e.nextLine < e.endAddr {
-			lineStart := e.nextLine &^ (c.lineBytes - 1)
-			portion := int64(minU64(e.endAddr, lineStart+c.lineBytes) - e.nextLine)
-			// The per-cycle request/load limits are per memory
-			// *instruction* (the paper's SST backend fetches a wide
-			// vector's lines from parallel banks); only the byte
-			// bandwidth meters the individual lines.
-			if e.nextLine == e.addr && (requests < 1 || loadOps < 1) {
-				blocked = true
-				break
-			}
-			if c.loadCredit < 1 {
-				blocked = true
-				break
-			}
-			if e.nextLine == e.addr {
-				requests--
-				loadOps--
-			}
-			done := c.mem.Access(c.cycle, e.nextLine, false)
-			if done > e.memDone {
-				e.memDone = done
-			}
-			c.loadCredit -= portion
-			c.stats.MemRequests++
-			e.nextLine = lineStart + c.lineBytes
-			c.progress = true
-		}
-		if blocked {
-			// Budget-blocked with work pending: the budgets refresh next
-			// cycle, so the idle skipper must not jump past it.
-			c.events.Push(c.cycle + 1)
-			break
-		}
-		e.state = stLoadMem
-		c.loadHeap.Push(seqEvent{at: e.memDone, seq: lr.seq})
-		c.events.Push(e.memDone)
-		c.loadReqQ.Pop()
-		c.progress = true
-	}
-
-	// Committed store writes drain through the remaining budgets; each
-	// fully-issued store claims one LSQ completion slot and frees its SQ
-	// entry.
-	for completions > 0 && !c.storeWriteQ.Empty() {
-		sw := c.storeWriteQ.Peek()
-		blocked := false
-		for sw.nextLine < sw.endAddr {
-			lineStart := sw.nextLine &^ (c.lineBytes - 1)
-			portion := int64(minU64(sw.endAddr, lineStart+c.lineBytes) - sw.nextLine)
-			if sw.nextLine == sw.startAddr && (requests < 1 || storeOps < 1) {
-				blocked = true
-				break
-			}
-			if c.storeCredit < 1 {
-				blocked = true
-				break
-			}
-			if sw.nextLine == sw.startAddr {
-				requests--
-				storeOps--
-			}
-			c.mem.Access(c.cycle, sw.nextLine, true)
-			c.storeCredit -= portion
-			c.stats.MemRequests++
-			sw.nextLine = lineStart + c.lineBytes
-			c.progress = true
-		}
-		if blocked {
-			c.events.Push(c.cycle + 1)
-			break
-		}
-		c.storeWriteQ.Pop()
-		c.sqCount--
-		completions--
-		c.progress = true
-	}
-}
-
-func minU64(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-// ----------------------------------------------------------------- issue --
-
-// resolveWaiters publishes e's completion time to every consumer on its
-// wake list. Called exactly once per entry, when resultAt becomes known.
-func (c *Core) resolveWaiters(e *entry, at int64) {
-	n := e.wakeHead
-	e.wakeHead = -1
-	for n >= 0 {
-		cseq := n >> 2
-		cons := &c.window[cseq%c.cp]
-		slot := n & 3
-		n = cons.wakeNext[slot]
-		cons.wakeNext[slot] = -1
-		if at > cons.earliestReady {
-			cons.earliestReady = at
-		}
-		cons.pendingSrcs--
-		if cons.pendingSrcs == 0 {
-			c.markReady(cseq, cons)
-		}
-	}
-}
-
-// markReady enqueues a fully-resolved entry for issue at its ready cycle.
-func (c *Core) markReady(seq int64, e *entry) {
-	at := e.earliestReady
-	if at < c.cycle {
-		at = c.cycle
-	}
-	c.readyHeap.Push(seqEvent{at: at, seq: seq})
-	if at > c.cycle {
-		c.events.Push(at)
-	}
-}
-
-func (c *Core) issueStage() {
-	// Pull newly ready entries into the age-ordered ready list.
-	for c.readyHeap.Len() > 0 && c.readyHeap.Min().at <= c.cycle {
-		seq := c.readyHeap.Pop().seq
-		i := len(c.readyList)
-		c.readyList = append(c.readyList, seq)
-		for i > 0 && c.readyList[i-1] > seq {
-			c.readyList[i] = c.readyList[i-1]
-			i--
-		}
-		c.readyList[i] = seq
-	}
-	issued := 0
-	for i := 0; i < len(c.readyList); i++ {
-		seq := c.readyList[i]
-		e := &c.window[seq%c.cp]
-		port := -1
-		for p := range c.ports {
-			if c.ports[p].accept.Has(e.op) && c.ports[p].freeAt <= c.cycle {
-				port = p
-				break
-			}
-		}
-		if port < 0 {
-			continue
-		}
-		if e.op.Pipelined() {
-			c.ports[port].freeAt = c.cycle + 1
-		} else {
-			c.ports[port].freeAt = c.cycle + int64(e.op.Latency())
-		}
-		c.stats.PortIssued[port]++
-		switch e.op {
-		case isa.Load:
-			// Address generation this cycle; line requests from next.
-			e.state = stLoadAGU
-			c.loadReqQ.Push(loadReq{seq: seq, availableAt: c.cycle + 1})
-			c.events.Push(c.cycle + 1)
-		case isa.Store:
-			// Address and data captured; the write drains post-commit.
-			e.state = stExec
-			e.resultAt = c.cycle + 1
-			c.events.Push(e.resultAt)
-			c.resolveWaiters(e, e.resultAt)
-		default:
-			e.state = stExec
-			e.resultAt = c.cycle + int64(e.op.Latency())
-			c.events.Push(e.resultAt)
-			c.resolveWaiters(e, e.resultAt)
-		}
-		c.readyList[i] = -1
-		c.rsCount--
-		issued++
-		c.progress = true
-	}
-	if issued > 0 {
-		kept := c.readyList[:0]
-		for _, seq := range c.readyList {
-			if seq >= 0 {
-				kept = append(kept, seq)
-			}
-		}
-		c.readyList = kept
-	}
-}
-
-// -------------------------------------------------------------- dispatch --
-
-func (c *Core) dispatchStage() {
-	for n := 0; n < isa.DispatchRate && !c.renameQ.Empty(); n++ {
-		rec := c.renameQ.Peek()
-		if c.seqDispatched-c.seqCommitted >= c.cp {
-			c.stats.ROBStalls++
-			return
-		}
-		if c.rsCount >= isa.ReservationStationSize {
-			c.stats.RSStalls++
-			return
-		}
-		switch rec.op {
-		case isa.Load:
-			if c.lqCount >= c.cfg.LoadQueueSize {
-				c.stats.LQStalls++
-				return
-			}
-		case isa.Store:
-			if c.sqCount >= c.cfg.StoreQueueSize {
-				c.stats.SQStalls++
-				return
-			}
-		}
-		r := c.renameQ.Pop()
-		seq := c.seqDispatched
-		c.seqDispatched++
-		e := &c.window[seq%c.cp]
-		*e = entry{
-			resultAt:     doneNever,
-			nextLine:     r.addr,
-			endAddr:      r.addr + uint64(r.bytes),
-			addr:         r.addr,
-			pc:           r.pc,
-			dispatchedAt: c.cycle,
-			wakeHead:     -1,
-			wakeNext:     [4]int64{-1, -1, -1, -1},
-			op:           r.op,
-			sve:          r.sve,
-			state:        stInRS,
-			nd:           r.nd,
-			destClass:    r.destClass,
-		}
-		// Resolve sources now or subscribe to their producers.
-		for i := 0; i < int(r.ns); i++ {
-			s := r.srcSeq[i]
-			if s < 0 || s < c.seqCommitted {
-				continue // architectural or committed: ready
-			}
-			p := &c.window[s%c.cp]
-			if p.resultAt != doneNever {
-				if p.resultAt > e.earliestReady {
-					e.earliestReady = p.resultAt
-				}
-				continue
-			}
-			// Producer completion unknown: link a wake node.
-			e.wakeNext[i] = p.wakeHead
-			p.wakeHead = seq*4 + int64(i)
-			e.pendingSrcs++
-		}
-		if e.pendingSrcs == 0 {
-			c.markReady(seq, e)
-		}
-		switch r.op {
-		case isa.Load:
-			c.lqCount++
-		case isa.Store:
-			c.sqCount++
-		}
-		c.rsCount++
-		c.progress = true
-	}
-}
-
-// ---------------------------------------------------------------- rename --
-
-func (c *Core) renameStage() {
-	for n := 0; n < c.cfg.FrontendWidth && !c.fetchQ.Empty() && !c.renameQ.Full(); n++ {
-		in := c.fetchQ.Peek()
-		// Check free physical registers for every destination class.
-		var need [isa.NumRegClasses]int
-		for i := 0; i < int(in.NDests); i++ {
-			need[in.Dests[i].Class]++
-		}
-		for cl := 0; cl < isa.NumRegClasses; cl++ {
-			if need[cl] > 0 && c.inFlight[cl]+need[cl] > c.physAvail[cl] {
-				c.stats.RenameStalls[cl]++
-				return
-			}
-		}
-		inst := c.fetchQ.Pop()
-		seq := c.seqRenamed
-		c.seqRenamed++
-		var r renamed
-		r.op = inst.Op
-		r.sve = inst.SVE
-		r.pc = inst.PC
-		r.nd = inst.NDests
-		r.ns = inst.NSrcs
-		if inst.Op.IsMem() {
-			if inst.Mem.Bytes == 0 {
-				c.fail("simeng: zero-byte memory access at pc %#x", inst.PC)
-				return
-			}
-			r.addr = inst.Mem.Addr
-			r.bytes = inst.Mem.Bytes
-		}
-		for i := 0; i < int(inst.NSrcs); i++ {
-			s := inst.Srcs[i]
-			if int(s.ID) >= len(c.regProducer[s.Class]) {
-				c.fail("simeng: source register %v out of architectural range at pc %#x", s, inst.PC)
-				return
-			}
-			r.srcSeq[i] = c.regProducer[s.Class][s.ID]
-		}
-		for i := 0; i < int(inst.NDests); i++ {
-			d := inst.Dests[i]
-			if int(d.ID) >= len(c.regProducer[d.Class]) {
-				c.fail("simeng: destination register %v out of architectural range at pc %#x", d, inst.PC)
-				return
-			}
-			c.regProducer[d.Class][d.ID] = seq
-			r.destClass[i] = uint8(d.Class)
-			c.inFlight[d.Class]++
-		}
-		c.renameQ.Push(r)
-		c.progress = true
-	}
-}
-
-// ----------------------------------------------------------------- fetch --
-
-// ensurePeek keeps a one-instruction lookahead over the stream.
-func (c *Core) ensurePeek() bool {
-	if c.havePeek {
-		return true
-	}
-	if c.streamDone {
-		return false
-	}
-	if !c.stream.Next(&c.peek) {
-		c.streamDone = true
-		return false
-	}
-	c.havePeek = true
-	return true
-}
-
-func (c *Core) fetchStage() {
-	fbs := uint64(c.cfg.FetchBlockSize)
-	var blockEnd uint64
-	blockSet := false
-	for n := 0; n < c.cfg.FrontendWidth && !c.fetchQ.Full(); n++ {
-		if !c.ensurePeek() {
-			return
-		}
-		pc := c.peek.PC
-		if !c.lbActive {
-			if !blockSet {
-				blockEnd = (pc &^ (fbs - 1)) + fbs
-				blockSet = true
-			}
-			if pc >= blockEnd || pc < blockEnd-fbs {
-				// Next instruction lies in another fetch block.
-				return
-			}
-		}
-		inst := c.peek
-		c.havePeek = false
-		c.fetchQ.Push(inst)
-		c.stats.Fetched++
-		if c.lbActive {
-			c.stats.LoopBufferFetched++
-		}
-		c.progress = true
-		if inst.Op != isa.Branch {
-			continue
-		}
-		if inst.Branch.Taken {
-			span := 0
-			if inst.Branch.LoopBack && inst.PC >= inst.Branch.Target {
-				span = int((inst.PC-inst.Branch.Target)/isa.InstBytes) + 1
-			}
-			if inst.Branch.LoopBack && span > 0 && span <= c.cfg.LoopBufferSize {
-				if inst.PC == c.lbBranchPC {
-					c.lbSeen++
-					if c.lbSeen >= 2 {
-						// The whole loop body has streamed through
-						// twice: lock it into the loop buffer.
-						c.lbActive = true
-					}
-				} else {
-					c.lbBranchPC = inst.PC
-					c.lbSeen = 1
-					c.lbActive = false
-				}
-			} else {
-				c.lbActive = false
-				c.lbBranchPC = 0
-				c.lbSeen = 0
-			}
-			if !c.lbActive {
-				// Taken-branch redirect ends this cycle's fetch group.
-				return
-			}
-		} else if inst.Branch.LoopBack && inst.PC == c.lbBranchPC {
-			// Loop exit: release the loop buffer.
-			c.lbActive = false
-			c.lbBranchPC = 0
-			c.lbSeen = 0
-		}
 	}
 }

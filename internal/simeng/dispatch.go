@@ -1,0 +1,85 @@
+package simeng
+
+import "armdse/internal/isa"
+
+// dispatchStage moves renamed instructions into the window, allocating their
+// ROB/RS/LQ/SQ slots and subscribing unresolved sources to their producers'
+// wake lists. A full structure stops dispatch for the cycle; which one is
+// posted to the stall bus (and counted per-instruction in Stats).
+func (c *Core) dispatchStage() {
+	for n := 0; n < isa.DispatchRate && !c.renameQ.Empty(); n++ {
+		rec := c.renameQ.Peek()
+		if c.seqDispatched-c.seqCommitted >= c.cp {
+			c.stats.ROBStalls++
+			c.bus.robFull = true
+			return
+		}
+		if c.issue.rsCount >= isa.ReservationStationSize {
+			c.stats.RSStalls++
+			c.bus.rsFull = true
+			return
+		}
+		switch rec.op {
+		case isa.Load:
+			if c.lsq.lqCount >= c.cfg.LoadQueueSize {
+				c.stats.LQStalls++
+				c.bus.lqFull = true
+				return
+			}
+		case isa.Store:
+			if c.lsq.sqCount >= c.cfg.StoreQueueSize {
+				c.stats.SQStalls++
+				c.bus.sqFull = true
+				return
+			}
+		}
+		r := c.renameQ.Pop()
+		seq := c.seqDispatched
+		c.seqDispatched++
+		e := &c.window[seq%c.cp]
+		*e = entry{
+			resultAt:     doneNever,
+			nextLine:     r.addr,
+			endAddr:      r.addr + uint64(r.bytes),
+			addr:         r.addr,
+			pc:           r.pc,
+			dispatchedAt: c.cycle,
+			wakeHead:     -1,
+			wakeNext:     [4]int64{-1, -1, -1, -1},
+			op:           r.op,
+			sve:          r.sve,
+			state:        stInRS,
+			nd:           r.nd,
+			destClass:    r.destClass,
+		}
+		// Resolve sources now or subscribe to their producers.
+		for i := 0; i < int(r.ns); i++ {
+			s := r.srcSeq[i]
+			if s < 0 || s < c.seqCommitted {
+				continue // architectural or committed: ready
+			}
+			p := &c.window[s%c.cp]
+			if p.resultAt != doneNever {
+				if p.resultAt > e.earliestReady {
+					e.earliestReady = p.resultAt
+				}
+				continue
+			}
+			// Producer completion unknown: link a wake node.
+			e.wakeNext[i] = p.wakeHead
+			p.wakeHead = seq*4 + int64(i)
+			e.pendingSrcs++
+		}
+		if e.pendingSrcs == 0 {
+			c.markReady(seq, e)
+		}
+		switch r.op {
+		case isa.Load:
+			c.lsq.lqCount++
+		case isa.Store:
+			c.lsq.sqCount++
+		}
+		c.issue.rsCount++
+		c.progress = true
+	}
+}

@@ -1,0 +1,101 @@
+package simeng
+
+import "armdse/internal/isa"
+
+// fetchUnit is the front-end stage component: the stream lookahead and the
+// loop-buffer lock state.
+type fetchUnit struct {
+	stream     isa.Stream
+	peek       isa.Inst
+	havePeek   bool
+	streamDone bool
+	lbActive   bool
+	lbBranchPC uint64
+	lbSeen     int
+}
+
+// ensurePeek keeps a one-instruction lookahead over the stream.
+func (u *fetchUnit) ensurePeek() bool {
+	if u.havePeek {
+		return true
+	}
+	if u.streamDone {
+		return false
+	}
+	if !u.stream.Next(&u.peek) {
+		u.streamDone = true
+		return false
+	}
+	u.havePeek = true
+	return true
+}
+
+// fetchStage supplies up to FrontendWidth instructions per cycle, bounded by
+// fetch-block alignment and taken-branch redirects, with small loops locked
+// into the loop buffer (which lifts both limits).
+func (c *Core) fetchStage() {
+	u := &c.fetch
+	fbs := uint64(c.cfg.FetchBlockSize)
+	var blockEnd uint64
+	blockSet := false
+	for n := 0; n < c.cfg.FrontendWidth && !c.fetchQ.Full(); n++ {
+		if !u.ensurePeek() {
+			return
+		}
+		pc := u.peek.PC
+		if !u.lbActive {
+			if !blockSet {
+				blockEnd = (pc &^ (fbs - 1)) + fbs
+				blockSet = true
+			}
+			if pc >= blockEnd || pc < blockEnd-fbs {
+				// Next instruction lies in another fetch block.
+				return
+			}
+		}
+		inst := u.peek
+		u.havePeek = false
+		c.fetchQ.Push(inst)
+		c.stats.Fetched++
+		if u.lbActive {
+			c.stats.LoopBufferFetched++
+		}
+		c.progress = true
+		if inst.Op != isa.Branch {
+			continue
+		}
+		if inst.Branch.Taken {
+			span := 0
+			if inst.Branch.LoopBack && inst.PC >= inst.Branch.Target {
+				span = int((inst.PC-inst.Branch.Target)/isa.InstBytes) + 1
+			}
+			if inst.Branch.LoopBack && span > 0 && span <= c.cfg.LoopBufferSize {
+				if inst.PC == u.lbBranchPC {
+					u.lbSeen++
+					if u.lbSeen >= 2 {
+						// The whole loop body has streamed through
+						// twice: lock it into the loop buffer.
+						u.lbActive = true
+					}
+				} else {
+					u.lbBranchPC = inst.PC
+					u.lbSeen = 1
+					u.lbActive = false
+				}
+			} else {
+				u.lbActive = false
+				u.lbBranchPC = 0
+				u.lbSeen = 0
+			}
+			if !u.lbActive {
+				// Taken-branch redirect ends this cycle's fetch group.
+				return
+			}
+		} else if inst.Branch.LoopBack && inst.PC == u.lbBranchPC {
+			// Loop exit: release the loop buffer.
+			u.lbActive = false
+			u.lbBranchPC = 0
+			u.lbSeen = 0
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package simeng_test
+
+// Golden-determinism harness. The cycle totals in testdata/golden_cycles.json
+// were pinned against the pre-refactor monolithic core (one file, hard-wired
+// *sstmem.Hierarchy); any structural refactor of the stage pipeline or the
+// memory-backend seam must keep every (config, workload) total byte-identical.
+// Regenerate deliberately with:
+//
+//	go test ./internal/simeng -run TestGoldenCycles -update-golden
+//
+// and treat any diff in the regenerated file as a behaviour change that needs
+// justifying, not as noise.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"armdse/internal/params"
+	"armdse/internal/simeng"
+	"armdse/internal/sstmem"
+	"armdse/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_cycles.json from the current simulator")
+
+// goldenSeed derives the sampled design-space points of the golden matrix.
+const goldenSeed = 20240805
+
+// goldenConfigs is the fixed configuration matrix: the ThunderX2 baseline
+// plus sampled design-space points covering both fidelity-relevant extremes
+// (the sampler varies all 30 parameters, so cache sizes, bandwidths and
+// vector lengths all move).
+func goldenConfigs() map[string]params.Config {
+	m := map[string]params.Config{"tx2": params.ThunderX2()}
+	for i := 0; i < 5; i++ {
+		m[fmt.Sprintf("s%d", i)] = params.ConfigAt(goldenSeed, i)
+	}
+	return m
+}
+
+// goldenOutcome is one pinned run result.
+type goldenOutcome struct {
+	Cycles  int64 `json:"cycles"`
+	Retired int64 `json:"retired"`
+}
+
+const goldenPath = "testdata/golden_cycles.json"
+
+// goldenRun simulates one (config, workload) pair exactly as the collection
+// pipeline does: a fresh core and hierarchy per run.
+func goldenRun(t *testing.T, cfg params.Config, w workload.Workload) goldenOutcome {
+	t.Helper()
+	prog, err := w.Program(cfg.Core.VectorLength)
+	if err != nil {
+		t.Fatalf("%s: building program: %v", w.Name(), err)
+	}
+	h, err := sstmem.New(cfg.Mem)
+	if err != nil {
+		t.Fatalf("building hierarchy: %v", err)
+	}
+	c, err := simeng.New(cfg.Core, h)
+	if err != nil {
+		t.Fatalf("building core: %v", err)
+	}
+	st, err := c.Run(prog.Stream())
+	if err != nil {
+		t.Fatalf("%s: run: %v", w.Name(), err)
+	}
+	return goldenOutcome{Cycles: st.Cycles, Retired: st.Retired}
+}
+
+func TestGoldenCycles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden matrix simulates the full test suite on six configs")
+	}
+	got := make(map[string]goldenOutcome)
+	for name, cfg := range goldenConfigs() {
+		for _, w := range workload.TestSuite() {
+			got[name+"/"+w.Name()] = goldenRun(t, cfg, w)
+		}
+	}
+
+	if *updateGolden {
+		buf, err := json.MarshalIndent(got, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s with %d entries", goldenPath, len(got))
+		return
+	}
+
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update-golden to create): %v", err)
+	}
+	var want map[string]goldenOutcome
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d entries, matrix has %d", len(want), len(got))
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("%s: in golden file but not in matrix", key)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: cycles/retired = %d/%d, golden %d/%d", key, g.Cycles, g.Retired, w.Cycles, w.Retired)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package simeng
+
+import "armdse/internal/isa"
+
+// issueUnit is the scheduler stage component: the reservation station,
+// wakeup/select machinery and the execution ports.
+type issueUnit struct {
+	// rsCount is the reservation-station occupancy (dispatched, not yet
+	// issued). Ready entries are tracked event-style: when an entry's
+	// last source resolves it enters readyHeap keyed by its ready cycle,
+	// and issueStage drains due entries into readyList (sorted by age)
+	// where they wait only for ports — no per-cycle RS scan.
+	rsCount   int
+	readyHeap seqHeap
+	readyList []int64
+	ports     []portState
+}
+
+// portState is one execution port.
+type portState struct {
+	accept isa.GroupSet
+	freeAt int64
+}
+
+func (u *issueUnit) init(cfg Config) {
+	for _, p := range cfg.EffectivePorts() {
+		u.ports = append(u.ports, portState{accept: p.Accept})
+	}
+}
+
+// resolveWaiters publishes e's completion time to every consumer on its
+// wake list. Called exactly once per entry, when resultAt becomes known.
+func (c *Core) resolveWaiters(e *entry, at int64) {
+	n := e.wakeHead
+	e.wakeHead = -1
+	for n >= 0 {
+		cseq := n >> 2
+		cons := &c.window[cseq%c.cp]
+		slot := n & 3
+		n = cons.wakeNext[slot]
+		cons.wakeNext[slot] = -1
+		if at > cons.earliestReady {
+			cons.earliestReady = at
+		}
+		cons.pendingSrcs--
+		if cons.pendingSrcs == 0 {
+			c.markReady(cseq, cons)
+		}
+	}
+}
+
+// markReady enqueues a fully-resolved entry for issue at its ready cycle.
+func (c *Core) markReady(seq int64, e *entry) {
+	at := e.earliestReady
+	if at < c.cycle {
+		at = c.cycle
+	}
+	c.issue.readyHeap.Push(seqEvent{at: at, seq: seq})
+	if at > c.cycle {
+		c.events.Push(at)
+	}
+}
+
+// issueStage selects ready instructions onto free execution ports, oldest
+// first. Ready instructions left over after selection could only have been
+// blocked by port availability, which is posted to the stall bus.
+func (c *Core) issueStage() {
+	u := &c.issue
+	// Pull newly ready entries into the age-ordered ready list.
+	for u.readyHeap.Len() > 0 && u.readyHeap.Min().at <= c.cycle {
+		seq := u.readyHeap.Pop().seq
+		i := len(u.readyList)
+		u.readyList = append(u.readyList, seq)
+		for i > 0 && u.readyList[i-1] > seq {
+			u.readyList[i] = u.readyList[i-1]
+			i--
+		}
+		u.readyList[i] = seq
+	}
+	issued := 0
+	for i := 0; i < len(u.readyList); i++ {
+		seq := u.readyList[i]
+		e := &c.window[seq%c.cp]
+		port := -1
+		for p := range u.ports {
+			if u.ports[p].accept.Has(e.op) && u.ports[p].freeAt <= c.cycle {
+				port = p
+				break
+			}
+		}
+		if port < 0 {
+			continue
+		}
+		if e.op.Pipelined() {
+			u.ports[port].freeAt = c.cycle + 1
+		} else {
+			u.ports[port].freeAt = c.cycle + int64(e.op.Latency())
+		}
+		c.stats.PortIssued[port]++
+		switch e.op {
+		case isa.Load:
+			// Address generation this cycle; line requests from next.
+			e.state = stLoadAGU
+			c.lsq.loadReqQ.Push(loadReq{seq: seq, availableAt: c.cycle + 1})
+			c.events.Push(c.cycle + 1)
+		case isa.Store:
+			// Address and data captured; the write drains post-commit.
+			e.state = stExec
+			e.resultAt = c.cycle + 1
+			c.events.Push(e.resultAt)
+			c.resolveWaiters(e, e.resultAt)
+		default:
+			e.state = stExec
+			e.resultAt = c.cycle + int64(e.op.Latency())
+			c.events.Push(e.resultAt)
+			c.resolveWaiters(e, e.resultAt)
+		}
+		u.readyList[i] = -1
+		u.rsCount--
+		issued++
+		c.progress = true
+	}
+	if issued > 0 {
+		kept := u.readyList[:0]
+		for _, seq := range u.readyList {
+			if seq >= 0 {
+				kept = append(kept, seq)
+			}
+		}
+		u.readyList = kept
+	}
+	if len(u.readyList) > 0 {
+		// Everything still in the list was ready this cycle (the heap only
+		// releases due entries) and found no accepting free port.
+		c.bus.portBlocked = true
+	}
+}

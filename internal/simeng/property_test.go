@@ -111,7 +111,7 @@ func TestRandomProgramsTerminateWithinBounds(t *testing.T) {
 			t.Logf("config invalid: %v", err)
 			return false
 		}
-		st, err := Simulate(cfg, testMemCfg(), isa.NewSliceStream(insts))
+		st, err := Simulate(cfg, testMem(), isa.NewSliceStream(insts))
 		if err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false
@@ -147,11 +147,11 @@ func TestRandomProgramsDeterministic(t *testing.T) {
 		n := 50 + rng.Intn(200)
 		insts := randomProgram(rng, n)
 		cfg := randomConfig(rng)
-		a, err := Simulate(cfg, testMemCfg(), isa.NewSliceStream(insts))
+		a, err := Simulate(cfg, testMem(), isa.NewSliceStream(insts))
 		if err != nil {
 			return false
 		}
-		b, err := Simulate(cfg, testMemCfg(), isa.NewSliceStream(insts))
+		b, err := Simulate(cfg, testMem(), isa.NewSliceStream(insts))
 		if err != nil {
 			return false
 		}

@@ -1,0 +1,84 @@
+package simeng
+
+import "armdse/internal/isa"
+
+// renameUnit is the rename stage component: the per-class architectural
+// producer map and the physical-register free-list accounting.
+type renameUnit struct {
+	regProducer [isa.NumRegClasses][]int64
+	inFlight    [isa.NumRegClasses]int
+	physAvail   [isa.NumRegClasses]int
+}
+
+func (u *renameUnit) init(cfg Config) {
+	for cl := 0; cl < isa.NumRegClasses; cl++ {
+		arch := isa.RegClass(cl).ArchRegs()
+		u.regProducer[cl] = make([]int64, arch)
+		for i := range u.regProducer[cl] {
+			u.regProducer[cl][i] = -1
+		}
+	}
+	u.physAvail[isa.GP] = cfg.GPRegisters - isa.GP.ArchRegs()
+	u.physAvail[isa.FP] = cfg.FPSVERegisters - isa.FP.ArchRegs()
+	u.physAvail[isa.Pred] = cfg.PredRegisters - isa.Pred.ArchRegs()
+	u.physAvail[isa.Cond] = cfg.CondRegisters - isa.Cond.ArchRegs()
+}
+
+// renameStage maps fetched instructions' sources to producer sequence
+// numbers and claims physical destination registers, stalling (and posting
+// to the stall bus) when a class's free list is exhausted.
+func (c *Core) renameStage() {
+	u := &c.rename
+	for n := 0; n < c.cfg.FrontendWidth && !c.fetchQ.Empty() && !c.renameQ.Full(); n++ {
+		in := c.fetchQ.Peek()
+		// Check free physical registers for every destination class.
+		var need [isa.NumRegClasses]int
+		for i := 0; i < int(in.NDests); i++ {
+			need[in.Dests[i].Class]++
+		}
+		for cl := 0; cl < isa.NumRegClasses; cl++ {
+			if need[cl] > 0 && u.inFlight[cl]+need[cl] > u.physAvail[cl] {
+				c.stats.RenameStalls[cl]++
+				c.bus.renameBlocked = true
+				return
+			}
+		}
+		inst := c.fetchQ.Pop()
+		seq := c.seqRenamed
+		c.seqRenamed++
+		var r renamed
+		r.op = inst.Op
+		r.sve = inst.SVE
+		r.pc = inst.PC
+		r.nd = inst.NDests
+		r.ns = inst.NSrcs
+		if inst.Op.IsMem() {
+			if inst.Mem.Bytes == 0 {
+				c.fail("simeng: zero-byte memory access at pc %#x", inst.PC)
+				return
+			}
+			r.addr = inst.Mem.Addr
+			r.bytes = inst.Mem.Bytes
+		}
+		for i := 0; i < int(inst.NSrcs); i++ {
+			s := inst.Srcs[i]
+			if int(s.ID) >= len(u.regProducer[s.Class]) {
+				c.fail("simeng: source register %v out of architectural range at pc %#x", s, inst.PC)
+				return
+			}
+			r.srcSeq[i] = u.regProducer[s.Class][s.ID]
+		}
+		for i := 0; i < int(inst.NDests); i++ {
+			d := inst.Dests[i]
+			if int(d.ID) >= len(u.regProducer[d.Class]) {
+				c.fail("simeng: destination register %v out of architectural range at pc %#x", d, inst.PC)
+				return
+			}
+			u.regProducer[d.Class][d.ID] = seq
+			r.destClass[i] = uint8(d.Class)
+			u.inFlight[d.Class]++
+		}
+		c.renameQ.Push(r)
+		c.progress = true
+	}
+}

@@ -20,6 +20,16 @@ func testMemCfg() sstmem.Config {
 	}
 }
 
+// testMem returns a fresh SST-like hierarchy built from testMemCfg; each
+// Simulate call needs its own backend.
+func testMem() MemoryBackend {
+	h, err := sstmem.New(testMemCfg())
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
 // bigCfg returns a generously sized core so micro-tests can isolate one
 // resource at a time.
 func bigCfg() Config {
@@ -48,7 +58,7 @@ func bigCfg() Config {
 // simulate runs insts on cfg with the test memory.
 func simulate(t *testing.T, cfg Config, insts []isa.Inst) Stats {
 	t.Helper()
-	st, err := Simulate(cfg, testMemCfg(), isa.NewSliceStream(insts))
+	st, err := Simulate(cfg, testMem(), isa.NewSliceStream(insts))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -582,7 +592,7 @@ func TestRunErrorsOnBadRegister(t *testing.T) {
 	var in isa.Inst
 	in.Op = isa.IntALU
 	in.AddDest(isa.R(isa.GP, 200)) // beyond the 32 architectural GPs
-	_, err := Simulate(bigCfg(), testMemCfg(), isa.NewSliceStream([]isa.Inst{in}))
+	_, err := Simulate(bigCfg(), testMem(), isa.NewSliceStream([]isa.Inst{in}))
 	if err == nil || !strings.Contains(err.Error(), "architectural range") {
 		t.Errorf("err = %v, want architectural-range error", err)
 	}
@@ -591,7 +601,7 @@ func TestRunErrorsOnBadRegister(t *testing.T) {
 func TestRunErrorsOnZeroByteAccess(t *testing.T) {
 	ld := loadAt(1, 1<<20, 8)
 	ld.Mem.Bytes = 0
-	_, err := Simulate(bigCfg(), testMemCfg(), isa.NewSliceStream(seqPCs(0x1000, []isa.Inst{ld})))
+	_, err := Simulate(bigCfg(), testMem(), isa.NewSliceStream(seqPCs(0x1000, []isa.Inst{ld})))
 	if err == nil || !strings.Contains(err.Error(), "zero-byte") {
 		t.Errorf("err = %v, want zero-byte error", err)
 	}

@@ -1,0 +1,171 @@
+package simeng
+
+// Per-cycle stall attribution. Every simulated cycle is charged to exactly
+// one StallClass, top-down style: a cycle that retires work is Busy; a
+// no-retire cycle is attributed to the most upstream resource that provably
+// blocked it, walking from the dispatch structures (ROB/RS/LQ/SQ full)
+// through rename register pressure down to the state of the oldest
+// in-flight instruction (waiting on memory, on a port, or on operands).
+// Because the attribution is a total function of the cycle's observed stage
+// reports, the breakdown sums exactly to Stats.Cycles on every successful
+// run — the invariant the property tests pin.
+//
+// The stage components do not classify anything themselves: each one posts
+// raw facts ("dispatch was ROB-blocked", "the LSQ ran out of byte credit")
+// onto the shared stallBus during its turn, and the run loop classifies the
+// cycle once, after all stages have reported. Attribution is purely
+// observational — it never changes simulated behaviour (the golden tests
+// pin that).
+
+// StallClass is one bucket of the per-cycle attribution taxonomy.
+type StallClass uint8
+
+const (
+	// StallBusy: at least one instruction committed this cycle.
+	StallBusy StallClass = iota
+	// StallFrontend: the window was empty and the front end supplied
+	// nothing — pipeline fill, fetch-block breaks, or stream exhaustion.
+	StallFrontend
+	// StallRename: rename was blocked waiting for a free physical
+	// register (any class).
+	StallRename
+	// StallRS: dispatch was blocked on a full reservation station.
+	StallRS
+	// StallROB: dispatch was blocked on a full reorder buffer.
+	StallROB
+	// StallLQ / StallSQ: dispatch was blocked on a full load/store queue.
+	StallLQ
+	StallSQ
+	// StallMemBandwidth: memory work was throttled by the per-cycle
+	// request/byte budgets (including the post-stream store drain).
+	StallMemBandwidth
+	// StallMemLatency: the oldest instruction was waiting for memory data
+	// with bandwidth to spare.
+	StallMemLatency
+	// StallPortConflict: ready instructions existed but no accepting
+	// execution port was free.
+	StallPortConflict
+	// StallExec: the oldest instruction was executing or waiting for
+	// operands (dependency chains, execution latency).
+	StallExec
+
+	// NumStallClasses is the taxonomy size.
+	NumStallClasses
+)
+
+// stallClassNames are the short column/report names, in enum order.
+var stallClassNames = [NumStallClasses]string{
+	"busy", "frontend", "rename", "rs", "rob", "lq", "sq",
+	"mem-bw", "mem-lat", "port", "exec",
+}
+
+// String returns the class's short name.
+func (c StallClass) String() string {
+	if c < NumStallClasses {
+		return stallClassNames[c]
+	}
+	return "invalid"
+}
+
+// StallClassNames returns the taxonomy's short names in enum order — the
+// canonical order of dataset stall columns and report rows.
+func StallClassNames() []string {
+	out := make([]string, NumStallClasses)
+	copy(out, stallClassNames[:])
+	return out
+}
+
+// StallBreakdown is a per-class cycle count; on a successful run it sums
+// exactly to Stats.Cycles.
+type StallBreakdown [NumStallClasses]int64
+
+// Total returns the summed cycle count across all classes.
+func (b StallBreakdown) Total() int64 {
+	var t int64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// ByName returns the cycle count of the named class and whether the name is
+// part of the taxonomy.
+func (b StallBreakdown) ByName(name string) (int64, bool) {
+	for c, n := range stallClassNames {
+		if n == name {
+			return b[c], true
+		}
+	}
+	return 0, false
+}
+
+// stallBus is the shared per-cycle stall-accounting bus: each stage
+// component posts what blocked it during its turn, and the run loop
+// classifies the cycle from the collected reports. Reset at the top of
+// every simulated step.
+type stallBus struct {
+	// committed counts instructions retired this cycle (commit stage).
+	committed int
+	// robFull/rsFull/lqFull/sqFull: dispatch blocked on the structure.
+	robFull, rsFull, lqFull, sqFull bool
+	// renameBlocked: rename waited for a free physical register.
+	renameBlocked bool
+	// memBWBlocked: the LSQ hit a per-cycle request/byte budget with work
+	// still pending.
+	memBWBlocked bool
+	// portBlocked: at least one ready instruction found no free port.
+	portBlocked bool
+}
+
+func (b *stallBus) reset() { *b = stallBus{} }
+
+// classifyCycle charges the current cycle to one StallClass from the bus
+// reports and the state of the oldest in-flight instruction. Called once
+// per simulated step, after every stage has run.
+func (c *Core) classifyCycle() StallClass {
+	b := &c.bus
+	if b.committed > 0 {
+		return StallBusy
+	}
+	if c.seqCommitted == c.seqDispatched {
+		// Window empty: either the post-stream store drain or the front
+		// end failed to supply work.
+		switch {
+		case !c.lsq.storeWriteQ.Empty():
+			return StallMemBandwidth
+		case b.renameBlocked:
+			return StallRename
+		default:
+			return StallFrontend
+		}
+	}
+	// A window head waiting on memory takes precedence over everything
+	// downstream of it: the structures behind a memory-bound head fill as
+	// a symptom, not a cause, so the cycle is memory's whichever queue
+	// happened to clog first.
+	head := &c.window[c.seqCommitted%c.cp]
+	if head.state == stLoadAGU || head.state == stLoadMem {
+		if b.memBWBlocked {
+			return StallMemBandwidth
+		}
+		return StallMemLatency
+	}
+	switch {
+	case b.robFull:
+		return StallROB
+	case b.rsFull:
+		return StallRS
+	case b.lqFull:
+		return StallLQ
+	case b.sqFull:
+		return StallSQ
+	case b.renameBlocked:
+		return StallRename
+	}
+	if head.state == stInRS && b.portBlocked {
+		return StallPortConflict
+	}
+	// Executing, waiting for operands, or finished awaiting next cycle's
+	// commit slot.
+	return StallExec
+}

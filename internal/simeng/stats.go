@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"armdse/internal/isa"
-	"armdse/internal/sstmem"
 )
 
 // Stats summarises one simulated run. Cycles is the study's target variable.
@@ -36,10 +35,15 @@ type Stats struct {
 	LQStalls  int64
 	SQStalls  int64
 
-	// MemRequests counts line requests issued to the hierarchy.
+	// Stalls is the top-down cycle attribution: every simulated cycle is
+	// charged to exactly one StallClass, so on a successful run
+	// Stalls.Total() == Cycles. See stall.go for the taxonomy.
+	Stalls StallBreakdown
+
+	// MemRequests counts line requests issued to the backend.
 	MemRequests int64
-	// Mem carries the memory-hierarchy counters.
-	Mem sstmem.Stats
+	// Mem carries the memory-backend counters.
+	Mem MemStats
 
 	// PortIssued counts instructions issued per execution port, in the
 	// order of Config.EffectivePorts().
@@ -93,6 +97,14 @@ func (s Stats) VectorisationPct() float64 {
 		return 0
 	}
 	return 100 * float64(s.SVERetired) / float64(s.Retired)
+}
+
+// StallPct returns class's share of total cycles as a percentage.
+func (s Stats) StallPct(class StallClass) float64 {
+	if s.Cycles == 0 || class >= NumStallClasses {
+		return 0
+	}
+	return 100 * float64(s.Stalls[class]) / float64(s.Cycles)
 }
 
 // String renders a one-line summary.

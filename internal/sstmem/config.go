@@ -121,6 +121,11 @@ func (c Config) l1LatencyCore() int64 {
 	return scaleLatency(c.L1DLatency, c.CoreClockGHz, c.L1DClockGHz)
 }
 
+// L1LatencyCore returns the L1 hit latency scaled to core cycles — the
+// uniform access time a flat (perfect-cache) backend derives from this
+// configuration.
+func (c Config) L1LatencyCore() int64 { return c.l1LatencyCore() }
+
 // l2LatencyCore returns the L2 hit latency in core cycles.
 func (c Config) l2LatencyCore() int64 {
 	return scaleLatency(c.L2Latency, c.CoreClockGHz, c.L2ClockGHz)

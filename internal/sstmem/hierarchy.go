@@ -1,22 +1,12 @@
 package sstmem
 
-// Stats counts memory-system events over a run.
-type Stats struct {
-	Accesses   int64
-	L1Hits     int64
-	L1Misses   int64
-	L2Hits     int64
-	L2Misses   int64
-	RAMReads   int64
-	Writebacks int64
-	Prefetches int64
-	// MSHRStallCycles accumulates cycles demand misses waited for a free
-	// L1 MSHR.
-	MSHRStallCycles int64
-	// RowHits/RowMisses are only populated in High fidelity.
-	RowHits   int64
-	RowMisses int64
-}
+import "armdse/internal/memstats"
+
+// Stats counts memory-system events over a run. It is the backend-neutral
+// counter set shared by every memory backend implementation (see memstats),
+// so the core's run statistics carry the same snapshot type whichever
+// backend produced them.
+type Stats = memstats.Counters
 
 // lineState tracks an in-flight fill: lines are inserted at miss time with a
 // readyAt cycle, so later requests to the same line coalesce onto the fill
@@ -135,12 +125,10 @@ func (h *Hierarchy) Stats() Stats { return h.stats }
 // LineBytes returns the cache line width.
 func (h *Hierarchy) LineBytes() int { return h.cfg.CacheLineWidth }
 
-func maxi(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
+// Tick implements the core's per-cycle backend hook. The hierarchy is purely
+// event-timed — every latency is computed at Access time — so it has no
+// per-cycle work.
+func (h *Hierarchy) Tick(now int64) {}
 
 // Access issues one demand request for the line containing addr at core
 // cycle now and returns the cycle its data is available to the core. Stores
@@ -155,7 +143,7 @@ func (h *Hierarchy) Access(now int64, addr uint64, store bool) int64 {
 	start := now
 	if h.banks != nil {
 		b := int(line) & (len(h.banks) - 1)
-		start = maxi(now, h.banks[b])
+		start = max(now, h.banks[b])
 		h.banks[b] = start + 1
 	}
 
@@ -168,7 +156,7 @@ func (h *Hierarchy) Access(now int64, addr uint64, store bool) int64 {
 			// demand instead of arriving in lock-step with it.
 			h.prefetchAfterMiss(addr, start+h.l1Lat)
 		}
-		return maxi(start+h.l1Lat, ready)
+		return max(start+h.l1Lat, ready)
 	}
 	h.stats.L1Misses++
 
@@ -210,7 +198,7 @@ func (h *Hierarchy) fetchIntoL1(start int64, addr uint64, store bool) int64 {
 	var fill int64
 	if h.l2.lookup(addr, false) {
 		h.stats.L2Hits++
-		fill = maxi(t+h.l2Lat, h.l2Ready.get(line, t))
+		fill = max(t+h.l2Lat, h.l2Ready.get(line, t))
 	} else {
 		h.stats.L2Misses++
 		fill = h.ramFetch(t+h.l2Lat, addr)
@@ -225,7 +213,7 @@ func (h *Hierarchy) fetchIntoL1(start int64, addr uint64, store bool) int64 {
 // fidelity, the DRAM row buffer.
 func (h *Hierarchy) ramFetch(t int64, addr uint64) int64 {
 	h.stats.RAMReads++
-	reqStart := maxi(t, int64(h.ramFree))
+	reqStart := max(t, int64(h.ramFree))
 	h.ramFree = float64(reqStart) + h.ramInterval
 	lat := h.ramLat
 	if h.cfg.Fidelity == High {

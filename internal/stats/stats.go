@@ -38,8 +38,8 @@ func StdDev(xs []float64) float64 {
 func MinMax(xs []float64) (lo, hi float64) {
 	lo, hi = math.Inf(1), math.Inf(-1)
 	for _, x := range xs {
-		lo = math.Min(lo, x)
-		hi = math.Max(hi, x)
+		lo = min(lo, x)
+		hi = max(hi, x)
 	}
 	return lo, hi
 }
