@@ -67,10 +67,15 @@ type (
 	Dataset = dataset.Dataset
 	// Tree is a trained CART regression surrogate.
 	Tree = dtree.Tree
-	// TreeOptions configure surrogate training (zero value = paper's).
+	// TreeOptions configure surrogate training (zero value = paper's);
+	// Workers selects the deterministic parallel build and Bins the
+	// histogram-binned split finder.
 	TreeOptions = dtree.Options
 	// Importance is one feature's signed permutation importance.
 	Importance = dtree.Importance
+	// ImportanceOptions configure FeatureImportanceOpt (repeats, seed,
+	// workers).
+	ImportanceOptions = dtree.ImportanceOptions
 	// Forest is a bagged random-forest surrogate (paper future work).
 	Forest = dtree.Forest
 	// ForestOptions configure random-forest training.
@@ -279,11 +284,19 @@ func LoadDataset(path string) (*Dataset, error) { return dataset.LoadFile(path) 
 // TrainSurrogate fits the paper's decision-tree regressor (MSE criterion,
 // unbounded depth, single-sample leaves) for one application's cycles.
 func TrainSurrogate(d *Dataset, app string) (*Tree, error) {
+	return TrainSurrogateOpt(d, app, TreeOptions{})
+}
+
+// TrainSurrogateOpt is TrainSurrogate with explicit training options: set
+// opt.Workers for the deterministic parallel build (byte-identical model at
+// every worker count) and opt.Bins for the histogram-binned split finder
+// (faster, near-exact; 0 keeps the paper's exact scan).
+func TrainSurrogateOpt(d *Dataset, app string, opt TreeOptions) (*Tree, error) {
 	y, err := d.Target(app)
 	if err != nil {
 		return nil, err
 	}
-	return dtree.Train(d.X, y, dtree.Options{})
+	return dtree.Train(d.X, y, opt)
 }
 
 // TrainStallSurrogate fits a decision-tree regressor for one application's
@@ -291,11 +304,17 @@ func TrainSurrogate(d *Dataset, app string) (*Tree, error) {
 // TrainSurrogate, usable only on schema-v2 datasets collected with stall
 // columns. Class names come from StallClassNames.
 func TrainStallSurrogate(d *Dataset, app, class string) (*Tree, error) {
+	return TrainStallSurrogateOpt(d, app, class, TreeOptions{})
+}
+
+// TrainStallSurrogateOpt is TrainStallSurrogate with explicit training
+// options (see TrainSurrogateOpt).
+func TrainStallSurrogateOpt(d *Dataset, app, class string, opt TreeOptions) (*Tree, error) {
 	y, err := d.StallTarget(app, class)
 	if err != nil {
 		return nil, err
 	}
-	return dtree.Train(d.X, y, dtree.Options{})
+	return dtree.Train(d.X, y, opt)
 }
 
 // TrainForestSurrogate fits the random-forest surrogate the paper's
@@ -312,11 +331,18 @@ func TrainForestSurrogate(d *Dataset, app string, opt ForestOptions) (*Forest, e
 // a trained surrogate over the dataset's rows: repeats shuffles per feature
 // scored by mean absolute error, normalised to signed percentages.
 func FeatureImportance(t *Tree, d *Dataset, app string, repeats int, seed int64) ([]Importance, error) {
+	return FeatureImportanceOpt(t, d, app, ImportanceOptions{Repeats: repeats, Seed: seed})
+}
+
+// FeatureImportanceOpt is FeatureImportance with explicit options; features
+// are scored across opt.Workers goroutines with a deterministic reduction,
+// so the result is identical at every worker count.
+func FeatureImportanceOpt(t *Tree, d *Dataset, app string, opt ImportanceOptions) ([]Importance, error) {
 	y, err := d.Target(app)
 	if err != nil {
 		return nil, err
 	}
-	return dtree.PermutationImportance(t, d.X, y, d.FeatureNames, repeats, seed)
+	return dtree.PermutationImportanceOpt(t, d.X, y, d.FeatureNames, opt)
 }
 
 // TopImportances returns the n largest-magnitude importances, descending.

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	dseanalyze -data dataset.csv [-split 0.8] [-seed 1] [-repeats 10] [-top 10]
+//	           [-workers 0] [-bins 0]
 package main
 
 import (
@@ -34,6 +35,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed     = fs.Int64("seed", 1, "split/shuffle seed")
 		repeats  = fs.Int("repeats", 10, "permutation-importance repeats")
 		top      = fs.Int("top", 10, "importances to print per application")
+		workers  = fs.Int("workers", 0, "training/importance workers (0 = all CPUs; never changes the models)")
+		bins     = fs.Int("bins", 0, "histogram bins per feature for split finding (0 = exact scan, the paper's setting)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,9 +58,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Title:   fmt.Sprintf("Held-out accuracy (train %d / test %d)", train.Len(), test.Len()),
 		Columns: []string{"Application", "<=1%", "<=2%", "<=5%", "<=10%", "<=25%", "Mean accuracy", "Leaves", "Depth"},
 	}
+	treeOpt := armdse.TreeOptions{Workers: *workers, Bins: *bins}
 	var accSum float64
 	for _, app := range data.Apps {
-		tree, err := armdse.TrainSurrogate(train, app)
+		tree, err := armdse.TrainSurrogateOpt(train, app, treeOpt)
 		if err != nil {
 			return err
 		}
@@ -88,11 +92,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	// Importance on the full dataset (the paper's Fig. 3 protocol).
 	for _, app := range data.Apps {
-		tree, err := armdse.TrainSurrogate(data, app)
+		tree, err := armdse.TrainSurrogateOpt(data, app, treeOpt)
 		if err != nil {
 			return err
 		}
-		imps, err := armdse.FeatureImportance(tree, data, app, *repeats, *seed)
+		imps, err := armdse.FeatureImportanceOpt(tree, data, app, armdse.ImportanceOptions{
+			Repeats: *repeats, Seed: *seed, Workers: *workers,
+		})
 		if err != nil {
 			return err
 		}

@@ -51,6 +51,33 @@ func TestRunAnalysis(t *testing.T) {
 	}
 }
 
+// TestRunAnalysisWorkersBins pins that the worker count never changes the
+// output and that histogram binning still produces a full report.
+func TestRunAnalysisWorkersBins(t *testing.T) {
+	path := writeDataset(t)
+	outputs := make([]string, 0, 3)
+	for _, extra := range [][]string{
+		{"-workers", "1"},
+		{"-workers", "8"},
+		{"-workers", "8", "-bins", "64"},
+	} {
+		var out, errBuf bytes.Buffer
+		args := append([]string{"-data", path, "-repeats", "2", "-top", "5"}, extra...)
+		if err := run(args, &out, &errBuf); err != nil {
+			t.Fatalf("%v: %v", extra, err)
+		}
+		outputs = append(outputs, out.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Error("-workers 1 and -workers 8 reports differ; training must be worker-count-invariant")
+	}
+	for _, frag := range []string{"Held-out accuracy", "feature importance"} {
+		if !strings.Contains(outputs[2], frag) {
+			t.Errorf("-bins 64 output missing %q", frag)
+		}
+	}
+}
+
 func TestRunAnalysisErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-data", "/no/such.csv"}, &buf, &buf); err == nil {

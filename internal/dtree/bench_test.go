@@ -1,6 +1,7 @@
 package dtree
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -19,6 +20,40 @@ func benchData(n int) ([][]float64, []float64) {
 		y[i] = 1000 + 50*row[0] + 20*row[5]*row[5]/100 + rng.NormFloat64()*30
 	}
 	return x, y
+}
+
+// trainVariants are the split-finder x worker combinations the README's
+// benchmark table compares; benchstat groups them by the /mode=... key.
+var trainVariants = []struct {
+	name string
+	opt  Options
+}{
+	{"exact-serial", Options{Workers: 1}},
+	{"exact-8w", Options{Workers: 8}},
+	{"hist256-serial", Options{Workers: 1, Bins: 256}},
+	{"hist256-8w", Options{Workers: 8, Bins: 256}},
+}
+
+// BenchmarkTrain measures surrogate training at the dataset sizes the paper's
+// pipeline meets in practice (10k) and at scale (100k; skipped under -short).
+// Every variant trains the same model byte for byte — only the cost differs.
+func BenchmarkTrain(b *testing.B) {
+	for _, rows := range []int{10_000, 100_000} {
+		if rows > 10_000 && testing.Short() {
+			continue
+		}
+		x, y := benchData(rows)
+		for _, v := range trainVariants {
+			b.Run(fmt.Sprintf("rows=%d/mode=%s", rows, v.name), func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := Train(x, y, v.opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 func BenchmarkTrain2k(b *testing.B) {
@@ -45,6 +80,22 @@ func BenchmarkPredict(b *testing.B) {
 	_ = sink
 }
 
+func BenchmarkPredictBatch(b *testing.B) {
+	x, y := benchData(10_000)
+	tree, err := Train(x, y, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = tree.PredictBatch(x, workers)
+			}
+		})
+	}
+}
+
 func BenchmarkPermutationImportance(b *testing.B) {
 	x, y := benchData(1000)
 	tree, err := Train(x, y, Options{})
@@ -55,20 +106,29 @@ func BenchmarkPermutationImportance(b *testing.B) {
 	for i := range names {
 		names[i] = "f"
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := PermutationImportance(tree, x, y, names, 2, int64(i)); err != nil {
-			b.Fatal(err)
-		}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opt := ImportanceOptions{Repeats: 2, Seed: 20, Workers: workers}
+				if _, err := PermutationImportanceOpt(tree, x, y, names, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 func BenchmarkTrainForest(b *testing.B) {
 	x, y := benchData(500)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := TrainForest(x, y, ForestOptions{Trees: 10, Seed: int64(i)}); err != nil {
-			b.Fatal(err)
-		}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := TrainForest(x, y, ForestOptions{Trees: 10, Seed: 20, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

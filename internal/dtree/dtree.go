@@ -3,18 +3,30 @@
 // error split criterion with best-split selection, no maximum depth, no
 // maximum leaf count, and single-sample leaves — plus the permutation
 // feature importance analysis used to rank parameters (§V-C, §VI-B).
+//
+// Training scales two ways beyond the paper's serial setup, both without
+// changing the model the default options produce:
+//
+//   - Options.Workers builds independent subtrees concurrently and merges
+//     them in deterministic preorder, so the packed node array — and hence
+//     Serialize output — is byte-identical at every worker count.
+//   - Options.Bins switches the exhaustive sorted split scan to a
+//     histogram-binned search over per-dataset quantile bins, turning the
+//     per-node O(n·f·log n) sort into an O(n·f) accumulation. Exact mode
+//     (Bins == 0) remains the default for paper fidelity.
 package dtree
 
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
+	"sync"
 )
 
 // Options configure training. The zero value is the paper's configuration:
 // unlimited depth, single-sample leaves, all features considered at every
-// split.
+// split, exact split search, GOMAXPROCS build workers (the build result is
+// worker-count-invariant, so parallelism is on by default).
 type Options struct {
 	// MaxDepth caps tree depth; 0 means unlimited.
 	MaxDepth int
@@ -23,11 +35,24 @@ type Options struct {
 	MinSamplesLeaf int
 	// MaxFeatures, when positive and below the feature count, restricts
 	// each split to a random subset of that many features (random-forest
-	// style). Requires Seed for determinism.
+	// style). The subset is drawn from a per-node splitmix64 substream
+	// keyed by the node's root-to-node path, so it is deterministic and
+	// independent of Workers.
 	MaxFeatures int
 	// Seed drives the per-split feature subsampling when MaxFeatures is
 	// set.
 	Seed int64
+	// Workers bounds the concurrent subtree builds; 0 selects GOMAXPROCS
+	// and 1 builds serially. The trained tree is byte-identical at every
+	// value — the build partitions samples deterministically and flattens
+	// the node tree in preorder, so scheduling never leaks into the
+	// model.
+	Workers int
+	// Bins, when positive, selects the histogram-binned split finder with
+	// at most that many quantile bins per feature (clamped to [2, 65536]).
+	// 0 selects the exact sorted scan, the paper's configuration. See
+	// hist.go for the fidelity trade-off.
+	Bins int
 }
 
 // node is one tree node. Leaves have feature == -1.
@@ -45,21 +70,59 @@ type Tree struct {
 	nFeatures int
 }
 
-// trainer carries shared state through the recursive build.
-type trainer struct {
-	x    [][]float64
-	y    []float64
-	opt  Options
-	tree *Tree
-	// idx is the working permutation of sample indices; each node owns a
-	// contiguous sub-slice.
-	idx []int
-	// scratch buffers for the per-feature sort.
-	perm []int
-	// rng and featBuf implement per-split feature subsampling.
-	rng     *rand.Rand
-	featBuf []int
+// bnode is the pointer form of a node used during the build. Subtrees are
+// grown concurrently into disjoint bnode graphs and flattened into the
+// packed preorder array once the build completes, which is what makes the
+// parallel build's output independent of goroutine scheduling.
+type bnode struct {
+	threshold   float64
+	value       float64
+	feature     int32
+	left, right *bnode
 }
+
+// splitResult accumulates the best split found so far at a node.
+type splitResult struct {
+	feature   int
+	threshold float64
+	gain      float64
+}
+
+// splitScratch holds one build task's reusable buffers; tasks borrow it from
+// the trainer's pool for the duration of a node's split search.
+type splitScratch struct {
+	perm  []int // exact-mode sort buffer, also the partition buffer
+	feats []int // feature-subsample buffer
+	// Histogram-mode sparse per-bin accumulators: a set bit in bits marks
+	// the bin live for the current (node, feature) pass; stale bins are
+	// zeroed lazily on first touch (see findSplitHist).
+	cnt  []int
+	sum  []float64
+	sq   []float64
+	bits []uint64
+}
+
+// trainer carries shared, read-only state through the (possibly concurrent)
+// recursive build.
+type trainer struct {
+	x   [][]float64
+	y   []float64
+	opt Options
+	nf  int
+	// allFeats is the shared 0..nf-1 list used when no subsampling is
+	// configured; read-only across goroutines.
+	allFeats []int
+	// hist is non-nil in histogram mode; immutable after construction.
+	hist *histogram
+	// sem holds spawn tokens for Workers-1 extra goroutines; nil when the
+	// build is serial.
+	sem     chan struct{}
+	scratch sync.Pool
+}
+
+// spawnMinSamples is the smallest node worth a goroutine of its own; smaller
+// subtrees build inline to keep scheduling overhead off the hot path.
+const spawnMinSamples = 256
 
 // Train fits a regression tree to X (rows × features) and y.
 func Train(x [][]float64, y []float64, opt Options) (*Tree, error) {
@@ -81,133 +144,234 @@ func Train(x [][]float64, y []float64, opt Options) (*Tree, error) {
 	if opt.MinSamplesLeaf < 1 {
 		opt.MinSamplesLeaf = 1
 	}
-	tr := &trainer{
-		x:    x,
-		y:    y,
-		opt:  opt,
-		tree: &Tree{nFeatures: nf},
-		idx:  make([]int, len(x)),
-		perm: make([]int, len(x)),
+	tr := &trainer{x: x, y: y, opt: opt, nf: nf}
+	tr.allFeats = make([]int, nf)
+	for i := range tr.allFeats {
+		tr.allFeats[i] = i
 	}
-	if opt.MaxFeatures > 0 && opt.MaxFeatures < nf {
-		tr.rng = rand.New(rand.NewSource(opt.Seed))
-		tr.featBuf = make([]int, nf)
-		for i := range tr.featBuf {
-			tr.featBuf[i] = i
-		}
+	if opt.Bins > 0 {
+		tr.hist = buildHistogram(x, nf, opt.Bins, opt.Workers)
 	}
-	for i := range tr.idx {
-		tr.idx[i] = i
+	if w := clampWorkers(opt.Workers, len(x)); w > 1 {
+		tr.sem = make(chan struct{}, w-1)
 	}
-	tr.build(tr.idx, 1)
-	return tr.tree, nil
+	tr.scratch.New = func() any { return &splitScratch{} }
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	root := tr.build(idx, 1, subSeed(opt.Seed, 0))
+	return flatten(root, nf), nil
 }
 
-// build grows the subtree over the samples in idx and returns its node index.
-func (tr *trainer) build(idx []int, depth int) int32 {
+// build grows the subtree over the samples in idx and returns its root.
+// seed identifies the node's RNG substream (a pure function of the
+// root-to-node path). idx is owned exclusively by this call: the partition
+// step rewrites it in place and hands disjoint halves to the children, so
+// concurrent subtree builds never share mutable state.
+func (tr *trainer) build(idx []int, depth int, seed uint64) *bnode {
 	n := len(idx)
 	var sum, sumSq float64
 	for _, i := range idx {
 		sum += tr.y[i]
 		sumSq += tr.y[i] * tr.y[i]
 	}
-	mean := sum / float64(n)
-	self := int32(len(tr.tree.nodes))
-	tr.tree.nodes = append(tr.tree.nodes, node{feature: -1, value: mean})
+	nd := &bnode{feature: -1, value: sum / float64(n)}
 
 	if n < 2*tr.opt.MinSamplesLeaf {
-		return self
+		return nd
 	}
 	if tr.opt.MaxDepth > 0 && depth >= tr.opt.MaxDepth {
-		return self
+		return nd
 	}
 	parentSSE := sumSq - sum*sum/float64(n)
 	if parentSSE <= 1e-12 {
-		return self // already pure
+		return nd // already pure
 	}
 
-	bestFeature := -1
-	bestPos := -1
-	bestThreshold := 0.0
-	bestGain := 0.0
-	for _, f := range tr.splitFeatures() {
-		perm := tr.perm[:n]
-		copy(perm, idx)
-		xf := tr.x
-		sort.Slice(perm, func(a, b int) bool { return xf[perm[a]][f] < xf[perm[b]][f] })
-		// Scan split points between distinct consecutive values.
-		var lSum, lSq float64
-		for k := 0; k < n-1; k++ {
-			yi := tr.y[perm[k]]
-			lSum += yi
-			lSq += yi * yi
-			nl := k + 1
-			nr := n - nl
-			if nl < tr.opt.MinSamplesLeaf || nr < tr.opt.MinSamplesLeaf {
-				continue
-			}
-			v0 := tr.x[perm[k]][f]
-			v1 := tr.x[perm[k+1]][f]
-			if v0 == v1 {
-				continue
-			}
-			rSum := sum - lSum
-			rSq := sumSq - lSq
-			sse := (lSq - lSum*lSum/float64(nl)) + (rSq - rSum*rSum/float64(nr))
-			gain := parentSSE - sse
-			if gain > bestGain+1e-12 {
-				bestGain = gain
-				bestFeature = f
-				bestPos = nl
-				bestThreshold = v0 + (v1-v0)/2
-			}
-		}
-	}
-	if bestFeature < 0 {
-		return self
+	best, nl := tr.findBestSplit(idx, seed, sum, sumSq, parentSSE)
+	if best.feature < 0 || nl == 0 || nl == n {
+		return nd // no split, or numeric degeneracy; keep the leaf
 	}
 
-	// Partition idx in place around the chosen split.
-	left := make([]int, 0, bestPos)
-	right := make([]int, 0, n-bestPos)
-	for _, i := range idx {
-		if tr.x[i][bestFeature] <= bestThreshold {
-			left = append(left, i)
+	ch := tr.buildChildren(idx, nl, depth, seed)
+	nd.feature = int32(best.feature)
+	nd.threshold = best.threshold
+	nd.left, nd.right = ch.left, ch.right
+	return nd
+}
+
+// findBestSplit scans the node's candidate splits and, when one exists,
+// partitions idx in place around it (left block first, original order
+// preserved within each side — the same stable partition at any worker
+// count). It returns the winning split and the left-block length nl; a
+// result with feature < 0 means the node stays a leaf.
+func (tr *trainer) findBestSplit(idx []int, seed uint64, sum, sumSq, parentSSE float64) (splitResult, int) {
+	sc := tr.getScratch(len(idx))
+	defer tr.scratch.Put(sc)
+
+	best := splitResult{feature: -1}
+	for _, f := range tr.splitFeatures(sc, seed) {
+		if tr.hist != nil {
+			tr.findSplitHist(idx, f, sum, sumSq, parentSSE, sc, &best)
 		} else {
-			right = append(right, i)
+			tr.findSplitExact(idx, f, sum, sumSq, parentSSE, sc, &best)
 		}
 	}
-	if len(left) == 0 || len(right) == 0 {
-		return self // numeric degeneracy; keep the leaf
+	if best.feature < 0 {
+		return best, 0
 	}
-	copy(idx, left)
-	copy(idx[len(left):], right)
+	// Stable partition through the scratch buffer: left block, then right.
+	perm := sc.perm[:len(idx)]
+	nl := 0
+	for _, i := range idx {
+		if tr.x[i][best.feature] <= best.threshold {
+			perm[nl] = i
+			nl++
+		}
+	}
+	nr := nl
+	for _, i := range idx {
+		if !(tr.x[i][best.feature] <= best.threshold) {
+			perm[nr] = i
+			nr++
+		}
+	}
+	copy(idx, perm)
+	return best, nl
+}
 
-	l := tr.build(idx[:len(left)], depth+1)
-	r := tr.build(idx[len(left):], depth+1)
-	tr.tree.nodes[self].feature = int32(bestFeature)
-	tr.tree.nodes[self].threshold = bestThreshold
-	tr.tree.nodes[self].left = l
-	tr.tree.nodes[self].right = r
-	return self
+// findSplitExact is the paper's exhaustive split search for one feature:
+// sort the node's samples by the feature and scan every boundary between
+// distinct consecutive values.
+func (tr *trainer) findSplitExact(idx []int, f int, sum, sumSq, parentSSE float64, sc *splitScratch, best *splitResult) {
+	n := len(idx)
+	perm := sc.perm[:n]
+	copy(perm, idx)
+	xf := tr.x
+	sort.Slice(perm, func(a, b int) bool { return xf[perm[a]][f] < xf[perm[b]][f] })
+	var lSum, lSq float64
+	for k := 0; k < n-1; k++ {
+		yi := tr.y[perm[k]]
+		lSum += yi
+		lSq += yi * yi
+		nl := k + 1
+		nr := n - nl
+		if nl < tr.opt.MinSamplesLeaf || nr < tr.opt.MinSamplesLeaf {
+			continue
+		}
+		v0 := xf[perm[k]][f]
+		v1 := xf[perm[k+1]][f]
+		if v0 == v1 {
+			continue
+		}
+		rSum := sum - lSum
+		rSq := sumSq - lSq
+		sse := (lSq - lSum*lSum/float64(nl)) + (rSq - rSum*rSum/float64(nr))
+		gain := parentSSE - sse
+		if gain > best.gain+1e-12 {
+			best.gain = gain
+			best.feature = f
+			best.threshold = v0 + (v1-v0)/2
+		}
+	}
+}
+
+// childPair carries the two built subtrees of a split node.
+type childPair struct{ left, right *bnode }
+
+// buildChildren grows both child subtrees of a split node, spawning the left
+// one on its own goroutine when a worker token is free and both sides are
+// big enough to amortise the handoff. Either way the children's content
+// depends only on their sample blocks and path seeds, never on where they
+// ran.
+func (tr *trainer) buildChildren(idx []int, nl, depth int, seed uint64) childPair {
+	left, right := idx[:nl], idx[nl:]
+	ls, rs := childSeed(seed, 0), childSeed(seed, 1)
+	if tr.sem != nil && len(left) >= spawnMinSamples && len(right) >= spawnMinSamples {
+		select {
+		case tr.sem <- struct{}{}:
+			var wg sync.WaitGroup
+			var l *bnode
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				l = tr.build(left, depth+1, ls)
+				<-tr.sem
+			}()
+			r := tr.build(right, depth+1, rs)
+			wg.Wait()
+			return childPair{left: l, right: r}
+		default:
+		}
+	}
+	l := tr.build(left, depth+1, ls)
+	r := tr.build(right, depth+1, rs)
+	return childPair{left: l, right: r}
+}
+
+// getScratch borrows a scratch sized for an n-sample node.
+func (tr *trainer) getScratch(n int) *splitScratch {
+	sc := tr.scratch.Get().(*splitScratch)
+	if cap(sc.perm) < n {
+		sc.perm = make([]int, n)
+	}
+	if cap(sc.feats) < tr.nf {
+		sc.feats = make([]int, tr.nf)
+	}
+	if tr.hist != nil {
+		if nb := tr.hist.maxBinCount(); cap(sc.cnt) < nb {
+			sc.cnt = make([]int, nb)
+			sc.sum = make([]float64, nb)
+			sc.sq = make([]float64, nb)
+			sc.bits = make([]uint64, (nb+63)/64)
+		}
+	}
+	return sc
 }
 
 // splitFeatures returns the feature indices to scan at the current node:
-// all of them, or a fresh random subset when MaxFeatures is configured.
-func (tr *trainer) splitFeatures() []int {
-	if tr.rng == nil {
-		if tr.featBuf == nil {
-			tr.featBuf = make([]int, tr.tree.nFeatures)
-			for i := range tr.featBuf {
-				tr.featBuf[i] = i
-			}
-		}
-		return tr.featBuf
+// all of them, or a per-node random subset when MaxFeatures is configured.
+func (tr *trainer) splitFeatures(sc *splitScratch, seed uint64) []int {
+	if tr.opt.MaxFeatures <= 0 || tr.opt.MaxFeatures >= tr.nf {
+		return tr.allFeats
 	}
-	tr.rng.Shuffle(len(tr.featBuf), func(a, b int) {
-		tr.featBuf[a], tr.featBuf[b] = tr.featBuf[b], tr.featBuf[a]
+	feats := sc.feats[:tr.nf]
+	copy(feats, tr.allFeats)
+	rng := subRand(seed)
+	rng.Shuffle(len(feats), func(a, b int) {
+		feats[a], feats[b] = feats[b], feats[a]
 	})
-	return tr.featBuf[:tr.opt.MaxFeatures]
+	return feats[:tr.opt.MaxFeatures]
+}
+
+// flatten packs the built node graph into the Tree's array in preorder —
+// the order the original serial trainer appended nodes in, which keeps the
+// serialised form byte-identical to a serial build.
+func flatten(root *bnode, nf int) *Tree {
+	t := &Tree{nFeatures: nf, nodes: make([]node, 0, countNodes(root))}
+	var walk func(nd *bnode) int32
+	walk = func(nd *bnode) int32 {
+		self := int32(len(t.nodes))
+		t.nodes = append(t.nodes, node{feature: nd.feature, threshold: nd.threshold, value: nd.value})
+		if nd.feature >= 0 {
+			l := walk(nd.left)
+			r := walk(nd.right)
+			t.nodes[self].left = l
+			t.nodes[self].right = r
+		}
+		return self
+	}
+	walk(root)
+	return t
+}
+
+// countNodes sizes the packed array ahead of the flattening walk.
+func countNodes(nd *bnode) int {
+	if nd.feature < 0 {
+		return 1
+	}
+	return 1 + countNodes(nd.left) + countNodes(nd.right)
 }
 
 // NumFeatures returns the model's input dimensionality.
@@ -227,24 +391,28 @@ func (t *Tree) NumLeaves() int {
 	return n
 }
 
-// Depth returns the maximum depth (a lone root has depth 1).
+// Depth returns the maximum depth (a lone root has depth 1). Children always
+// follow their parent in the packed array, so one reverse pass computes every
+// subtree depth — no recursion, and linear even on deserialized node graphs
+// that share children.
 func (t *Tree) Depth() int {
 	if len(t.nodes) == 0 {
 		return 0
 	}
-	var walk func(i int32) int
-	walk = func(i int32) int {
+	depth := make([]int, len(t.nodes))
+	for i := len(t.nodes) - 1; i >= 0; i-- {
 		nd := &t.nodes[i]
 		if nd.feature < 0 {
-			return 1
+			depth[i] = 1
+			continue
 		}
-		l, r := walk(nd.left), walk(nd.right)
-		if l > r {
-			return l + 1
+		l, r := depth[nd.left], depth[nd.right]
+		if l < r {
+			l = r
 		}
-		return r + 1
+		depth[i] = l + 1
 	}
-	return walk(0)
+	return depth[0]
 }
 
 // Predict evaluates the tree on one feature vector.
@@ -261,15 +429,6 @@ func (t *Tree) Predict(x []float64) float64 {
 			i = nd.right
 		}
 	}
-}
-
-// PredictAll evaluates the tree on every row.
-func (t *Tree) PredictAll(x [][]float64) []float64 {
-	out := make([]float64, len(x))
-	for i, row := range x {
-		out[i] = t.Predict(row)
-	}
-	return out
 }
 
 // MAE returns the mean absolute error of the model over (x, y).

@@ -3,7 +3,6 @@ package dtree
 import (
 	"fmt"
 	"math"
-	"math/rand"
 )
 
 // ForestOptions configure random-forest training.
@@ -15,8 +14,18 @@ type ForestOptions struct {
 	MaxFeatures int
 	// MinSamplesLeaf is the per-tree leaf minimum (default 1).
 	MinSamplesLeaf int
-	// Seed drives bootstrap sampling and feature subsampling.
+	// Seed drives bootstrap sampling and feature subsampling. Every tree
+	// derives its own splitmix64 substream from (Seed, tree index) — the
+	// same indexed derivation params.ConfigAt uses — so the ensemble is
+	// identical at every worker count.
 	Seed int64
+	// Workers bounds the number of trees trained concurrently; 0 selects
+	// GOMAXPROCS, 1 trains serially. The trained forest is identical at
+	// every value.
+	Workers int
+	// Bins selects the histogram-binned split finder for the ensemble's
+	// trees (see Options.Bins); 0 keeps the exact scan.
+	Bins int
 }
 
 // Forest is a bagged ensemble of regression trees — the "more complex
@@ -27,7 +36,10 @@ type Forest struct {
 	trees []*Tree
 }
 
-// TrainForest fits a random forest to X and y.
+// TrainForest fits a random forest to X and y. Trees train concurrently
+// under ForestOptions.Workers; because every tree's bootstrap and feature
+// subsampling come from its own indexed substream, the result does not
+// depend on scheduling.
 func TrainForest(x [][]float64, y []float64, opt ForestOptions) (*Forest, error) {
 	if len(x) == 0 {
 		return nil, fmt.Errorf("dtree: empty training set")
@@ -45,26 +57,34 @@ func TrainForest(x [][]float64, y []float64, opt ForestOptions) (*Forest, error)
 			opt.MaxFeatures = 1
 		}
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
-	f := &Forest{trees: make([]*Tree, opt.Trees)}
 	n := len(x)
-	bx := make([][]float64, n)
-	by := make([]float64, n)
-	for t := 0; t < opt.Trees; t++ {
-		for i := 0; i < n; i++ {
-			j := rng.Intn(n)
-			bx[i] = x[j]
-			by[i] = y[j]
+	f := &Forest{trees: make([]*Tree, opt.Trees)}
+	errs := make([]error, opt.Trees)
+	forEachChunk(opt.Trees, opt.Workers, func(lo, hi int) {
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for t := lo; t < hi; t++ {
+			rng := subRand(subSeed(opt.Seed, t))
+			for i := 0; i < n; i++ {
+				j := rng.Intn(n)
+				bx[i] = x[j]
+				by[i] = y[j]
+			}
+			f.trees[t], errs[t] = Train(bx, by, Options{
+				MinSamplesLeaf: opt.MinSamplesLeaf,
+				MaxFeatures:    opt.MaxFeatures,
+				Seed:           rng.Int63(),
+				Bins:           opt.Bins,
+			})
+			if errs[t] != nil {
+				return
+			}
 		}
-		tree, err := Train(bx, by, Options{
-			MinSamplesLeaf: opt.MinSamplesLeaf,
-			MaxFeatures:    opt.MaxFeatures,
-			Seed:           rng.Int63(),
-		})
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		f.trees[t] = tree
 	}
 	return f, nil
 }
@@ -79,15 +99,6 @@ func (f *Forest) Predict(x []float64) float64 {
 		s += t.Predict(x)
 	}
 	return s / float64(len(f.trees))
-}
-
-// PredictAll evaluates the forest on every row.
-func (f *Forest) PredictAll(x [][]float64) []float64 {
-	out := make([]float64, len(x))
-	for i, row := range x {
-		out[i] = f.Predict(row)
-	}
-	return out
 }
 
 // MAE returns the forest's mean absolute error over (x, y).

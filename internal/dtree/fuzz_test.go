@@ -1,0 +1,56 @@
+package dtree
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTreeRoundTrip feeds arbitrary bytes to the tree decoder. Anything Read
+// accepts must re-serialize to a stable canonical form and must be safe to
+// evaluate: the decoder's child-ordering validation is what guarantees
+// Predict terminates on untrusted models.
+func FuzzTreeRoundTrip(f *testing.F) {
+	x := [][]float64{{0, 5}, {1, 4}, {2, 3}, {3, 2}, {4, 1}, {5, 0}}
+	y := []float64{1, 1, 1, 9, 9, 9}
+	tree, err := Train(x, y, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := tree.Serialize()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{"n_features":1,"nodes":[{"f":-1,"v":2}]}`))
+	f.Add([]byte(`{"n_features":2,"nodes":[{"f":0,"t":1,"l":1,"r":2},{"f":-1,"v":1},{"f":-1,"v":9}]}`))
+	f.Add([]byte(`{"n_features":1,"nodes":[{"f":0,"t":1,"l":0,"r":0}]}`)) // self-cycle: must be rejected
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		t1, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		b1, err := t1.Serialize()
+		if err != nil {
+			t.Fatalf("serializing accepted tree: %v", err)
+		}
+		t2, err := Read(bytes.NewReader(b1))
+		if err != nil {
+			t.Fatalf("canonical bytes rejected: %v", err)
+		}
+		b2, err := t2.Serialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("round trip not stable:\n%s\n%s", b1, b2)
+		}
+		// The validated node order bounds every root-to-leaf walk, so
+		// evaluation must terminate on any accepted model.
+		row := make([]float64, t1.NumFeatures())
+		_ = t1.Predict(row)
+		_ = t1.Depth()
+		_ = t1.NumLeaves()
+	})
+}

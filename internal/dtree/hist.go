@@ -1,0 +1,165 @@
+package dtree
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Histogram-binned split finding. The exact split search sorts every node's
+// samples per feature — O(n·f·log n) per node, the dominant cost at the
+// paper's ~180k-row scale. The histogram mode instead quantises each feature
+// once per Train call into at most Bins quantile bins and considers only the
+// bin boundaries as candidate thresholds; a node's split search then needs a
+// single O(n·f) accumulation pass plus a boundary scan over the bins the
+// node actually touches, with no per-node sorting. The trade-off: thresholds
+// snap to the bin cut values, so the tree is no longer exactly the CART
+// optimum — see DESIGN.md for the fidelity contract. Exact mode (Bins == 0)
+// remains the default.
+
+// maxBins caps the bin count so codes fit uint16.
+const maxBins = 1 << 16
+
+// histogram is the per-dataset quantisation shared by every node of one
+// build. It is immutable after construction, so parallel node builds read it
+// without synchronisation.
+type histogram struct {
+	// cuts[f] holds feature f's candidate thresholds, ascending: splitting
+	// at boundary b sends samples with value <= cuts[f][b] left. Cut
+	// values are observed data values (quantiles of the column), so the
+	// resulting tree's thresholds stay inside the data range.
+	cuts [][]float64
+	// codes[f][i] is row i's bin index for feature f: the number of cuts
+	// strictly below its value, i.e. codes[f][i] == b means
+	// cuts[f][b-1] < x[i][f] <= cuts[f][b] (with virtual ±inf sentinels).
+	codes [][]uint16
+}
+
+// maxBinCount returns the widest per-feature bin count (len(cuts)+1).
+func (h *histogram) maxBinCount() int {
+	m := 0
+	for _, c := range h.cuts {
+		if len(c)+1 > m {
+			m = len(c) + 1
+		}
+	}
+	return m
+}
+
+// buildHistogram quantises every feature column of x into at most bins
+// quantile bins. Columns with fewer distinct values than bins keep every
+// distinct value as its own bin, so low-cardinality features (most of the
+// paper's design-space parameters) split exactly as in exact mode. Features
+// quantise independently, so the pass fans out over workers.
+func buildHistogram(x [][]float64, nf, bins, workers int) *histogram {
+	if bins < 2 {
+		bins = 2
+	}
+	if bins > maxBins {
+		bins = maxBins
+	}
+	n := len(x)
+	h := &histogram{
+		cuts:  make([][]float64, nf),
+		codes: make([][]uint16, nf),
+	}
+	forEachChunk(nf, workers, func(lo, hi int) {
+		col := make([]float64, n)
+		sorted := make([]float64, n)
+		for f := lo; f < hi; f++ {
+			for i, row := range x {
+				col[i] = row[f]
+			}
+			copy(sorted, col)
+			sort.Float64s(sorted)
+			// Quantile cut points, deduplicated. The top-quantile cut can
+			// equal the column maximum; it then separates nothing and the
+			// boundary scan skips it via its empty right side.
+			var cuts []float64
+			for q := 1; q < bins; q++ {
+				v := sorted[q*n/bins]
+				if len(cuts) == 0 || v > cuts[len(cuts)-1] {
+					cuts = append(cuts, v)
+				}
+			}
+			h.cuts[f] = cuts
+			codes := make([]uint16, n)
+			for i, v := range col {
+				codes[i] = uint16(sort.SearchFloat64s(cuts, v))
+			}
+			h.codes[f] = codes
+		}
+	})
+	return h
+}
+
+// findSplitHist scans feature f's bin boundaries over the node's samples and
+// updates the best split. Accumulation order follows idx, which the
+// deterministic partition fixed in the parent, so the result is independent
+// of build scheduling.
+//
+// Bins are accumulated sparsely: a per-pass bitmap lazily zeroes a bin the
+// first time the node touches it, so the pass costs O(samples + bins/64)
+// rather than O(total bins) of eager zeroing — deep single-sample-leaf
+// builds are dominated by small nodes, where the dense form costs more than
+// the exact search this mode exists to beat. The boundary scan then walks
+// the bitmap's set bits in ascending bin order (trailing-zeros iteration),
+// which visits exactly the occupied bins, already sorted. Skipping empty
+// bins drops no candidate: a boundary inside a run of empty bins yields the
+// same partition as the last occupied bin before it, with the same gain,
+// and the ascending scan already takes the first boundary of such a tie —
+// exactly what a dense scan picks.
+func (tr *trainer) findSplitHist(idx []int, f int, sum, sumSq, parentSSE float64, sc *splitScratch, best *splitResult) {
+	cuts := tr.hist.cuts[f]
+	nb := len(cuts) + 1
+	if nb < 2 {
+		return // single bin: feature is constant
+	}
+	n := len(idx)
+	cnt, bSum, bSq := sc.cnt, sc.sum, sc.sq
+	words := sc.bits[:(nb+63)/64]
+	clear(words)
+	codes := tr.hist.codes[f]
+	last := -1 // highest occupied bin: everything left of it is no split
+	for _, i := range idx {
+		b := codes[i]
+		yi := tr.y[i]
+		if w, bit := b>>6, uint64(1)<<(b&63); words[w]&bit == 0 {
+			words[w] |= bit
+			cnt[b], bSum[b], bSq[b] = 0, 0, 0
+			if int(b) > last {
+				last = int(b)
+			}
+		}
+		cnt[b]++
+		bSum[b] += yi
+		bSq[b] += yi * yi
+	}
+	var lCnt int
+	var lSum, lSq float64
+	for w, word := range words[:last>>6+1] {
+		for word != 0 {
+			b := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if b == last {
+				break // the top occupied bin separates nothing
+			}
+			lCnt += cnt[b]
+			lSum += bSum[b]
+			lSq += bSq[b]
+			nl := lCnt
+			nr := n - nl
+			if nl < tr.opt.MinSamplesLeaf || nr < tr.opt.MinSamplesLeaf {
+				continue
+			}
+			rSum := sum - lSum
+			rSq := sumSq - lSq
+			sse := (lSq - lSum*lSum/float64(nl)) + (rSq - rSum*rSum/float64(nr))
+			gain := parentSSE - sse
+			if gain > best.gain+1e-12 {
+				best.gain = gain
+				best.feature = f
+				best.threshold = cuts[b]
+			}
+		}
+	}
+}

@@ -3,7 +3,6 @@ package dtree
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 )
 
@@ -22,6 +21,20 @@ type Importance struct {
 	Pct float64
 }
 
+// ImportanceOptions configure PermutationImportanceOpt.
+type ImportanceOptions struct {
+	// Repeats is the shuffle count per feature (the paper uses 10);
+	// values below 1 are treated as 1.
+	Repeats int
+	// Seed identifies the shuffle stream. Every (feature, repeat) pair
+	// draws from its own indexed splitmix64 substream, so the result is
+	// identical at every worker count.
+	Seed int64
+	// Workers bounds the features scored concurrently; 0 selects
+	// GOMAXPROCS, 1 runs serially.
+	Workers int
+}
+
 // PermutationImportance computes the paper's §VI-B metric: for each feature,
 // shuffle its column, re-score the model with mean absolute error, repeat
 // `repeats` times (the paper uses 10), and take the mean error increase over
@@ -31,6 +44,15 @@ type Importance struct {
 // "increasing this parameter yields fewer cycles" = positive, matching the
 // figure captions).
 func PermutationImportance(t *Tree, x [][]float64, y []float64, names []string, repeats int, seed int64) ([]Importance, error) {
+	return PermutationImportanceOpt(t, x, y, names, ImportanceOptions{Repeats: repeats, Seed: seed})
+}
+
+// PermutationImportanceOpt is PermutationImportance with an explicit worker
+// count. Features are scored concurrently, each (feature, repeat) shuffle on
+// its own RNG substream, and the per-feature increases are reduced to
+// percentages in feature order — so the output is byte-identical at every
+// worker count.
+func PermutationImportanceOpt(t *Tree, x [][]float64, y []float64, names []string, opt ImportanceOptions) ([]Importance, error) {
 	if len(x) == 0 {
 		return nil, fmt.Errorf("dtree: empty evaluation set")
 	}
@@ -40,38 +62,46 @@ func PermutationImportance(t *Tree, x [][]float64, y []float64, names []string, 
 	if len(names) != t.nFeatures {
 		return nil, fmt.Errorf("dtree: %d names for %d features", len(names), t.nFeatures)
 	}
+	repeats := opt.Repeats
 	if repeats < 1 {
 		repeats = 1
 	}
 	base := t.MAE(x, y)
-	rng := rand.New(rand.NewSource(seed))
 
 	n := len(x)
-	col := make([]float64, n)
-	row := make([]float64, t.nFeatures)
 	imps := make([]Importance, t.nFeatures)
+	forEachChunk(t.nFeatures, opt.Workers, func(lo, hi int) {
+		col := make([]float64, n)
+		row := make([]float64, t.nFeatures)
+		for f := lo; f < hi; f++ {
+			var incSum float64
+			for r := 0; r < repeats; r++ {
+				for i := range col {
+					col[i] = x[i][f]
+				}
+				rng := subRand(subSeed(opt.Seed, f*repeats+r))
+				rng.Shuffle(n, func(a, b int) { col[a], col[b] = col[b], col[a] })
+				var err float64
+				for i := range x {
+					copy(row, x[i])
+					row[f] = col[i]
+					err += math.Abs(t.Predict(row) - y[i])
+				}
+				incSum += err/float64(n) - base
+			}
+			inc := incSum / float64(repeats)
+			if inc < 0 {
+				inc = 0 // uninformative feature; shuffling noise
+			}
+			imps[f] = Importance{Feature: names[f], Index: f, MeanErrorIncrease: inc}
+		}
+	})
+
+	// Deterministic reduction: the normalising total and the signs are
+	// computed after the join, in feature order.
 	var totalIncrease float64
-	for f := 0; f < t.nFeatures; f++ {
-		var incSum float64
-		for r := 0; r < repeats; r++ {
-			for i := range col {
-				col[i] = x[i][f]
-			}
-			rng.Shuffle(n, func(a, b int) { col[a], col[b] = col[b], col[a] })
-			var err float64
-			for i := range x {
-				copy(row, x[i])
-				row[f] = col[i]
-				err += math.Abs(t.Predict(row) - y[i])
-			}
-			incSum += err/float64(n) - base
-		}
-		inc := incSum / float64(repeats)
-		if inc < 0 {
-			inc = 0 // uninformative feature; shuffling noise
-		}
-		imps[f] = Importance{Feature: names[f], Index: f, MeanErrorIncrease: inc}
-		totalIncrease += inc
+	for f := range imps {
+		totalIncrease += imps[f].MeanErrorIncrease
 	}
 	for f := range imps {
 		pct := 0.0

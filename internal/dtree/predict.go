@@ -1,0 +1,88 @@
+package dtree
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Batched prediction. Scoring a surrogate over the full dataset (accuracy
+// tables, permutation importance, partial dependence) evaluates the model on
+// hundreds of thousands of rows; PredictBatch splits the rows across a
+// worker pool and writes each result at its row index, so the output slice
+// is identical at every worker count.
+
+// clampWorkers resolves a worker-count option against the task size: values
+// <= 0 select GOMAXPROCS, and the count never exceeds n (one unit of work
+// per worker minimum).
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// forEachChunk runs fn over [0, n) split into near-equal contiguous chunks,
+// one per worker, and waits for all of them.
+func forEachChunk(n, workers int, fn func(lo, hi int)) {
+	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// PredictBatch evaluates the tree on every row of x across workers
+// goroutines (0 = GOMAXPROCS). Results are written by row index, so the
+// returned slice is identical at every worker count.
+func (t *Tree) PredictBatch(x [][]float64, workers int) []float64 {
+	out := make([]float64, len(x))
+	forEachChunk(len(x), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = t.Predict(x[i])
+		}
+	})
+	return out
+}
+
+// PredictAll evaluates the tree on every row, serially.
+func (t *Tree) PredictAll(x [][]float64) []float64 {
+	return t.PredictBatch(x, 1)
+}
+
+// PredictBatch evaluates the forest on every row of x across workers
+// goroutines (0 = GOMAXPROCS); like the tree version, the output is
+// independent of the worker count.
+func (f *Forest) PredictBatch(x [][]float64, workers int) []float64 {
+	out := make([]float64, len(x))
+	forEachChunk(len(x), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f.Predict(x[i])
+		}
+	})
+	return out
+}
+
+// PredictAll evaluates the forest on every row, serially.
+func (f *Forest) PredictAll(x [][]float64) []float64 {
+	return f.PredictBatch(x, 1)
+}

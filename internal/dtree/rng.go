@@ -1,0 +1,50 @@
+package dtree
+
+import "math/rand"
+
+// Deterministic RNG substreams. Parallel training must produce the same
+// model at every worker count, which rules out a shared sequential RNG:
+// whichever goroutine asks first would win the next draw. Instead every
+// independently-scheduled unit of work — a forest's tree, a tree node's
+// feature subsample, one (feature, repeat) shuffle of the permutation
+// importance — derives its own splitmix64 substream from (seed, index),
+// mirroring the indexed derivation params.ConfigAt uses for configurations:
+// the seed and the index are hashed separately and XOR-combined, so adjacent
+// indices yield uncorrelated streams rather than shifted copies.
+
+// splitmix64 advances state by the golden-ratio increment and returns the
+// mixed output (Steele, Lea & Flood, OOPSLA 2014).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// subSeed derives the substream state for unit index of the stream
+// identified by seed.
+func subSeed(seed int64, index int) uint64 {
+	ss := uint64(seed)
+	// Offset the index so index 0 does not hash the all-zero state.
+	is := uint64(index) + 0x6a09e667f3bcc909
+	return splitmix64(&ss) ^ splitmix64(&is)
+}
+
+// childSeed derives a node's child substream from the parent's, keyed by
+// side (0 = left, 1 = right), so every node's stream is a pure function of
+// its root-to-node path — independent of build scheduling.
+func childSeed(s uint64, side uint64) uint64 {
+	v := s ^ (0x9e3779b97f4a7c15 * (side + 1))
+	return splitmix64(&v)
+}
+
+// smSource adapts a splitmix64 substream to math/rand.Source64.
+type smSource struct{ state uint64 }
+
+func (s *smSource) Uint64() uint64 { return splitmix64(&s.state) }
+func (s *smSource) Int63() int64   { return int64(s.Uint64() >> 1) }
+func (s *smSource) Seed(int64)     {}
+
+// subRand returns the rand.Rand over the substream with the given state.
+func subRand(state uint64) *rand.Rand { return rand.New(&smSource{state: state}) }

@@ -2,6 +2,7 @@ package dtree
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -41,6 +42,19 @@ func (t *Tree) Write(w io.Writer) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// Serialize returns the tree's canonical encoding — the bytes Write emits.
+// Because nodes are packed in deterministic preorder, two trainings that
+// grew the same tree (e.g. the same data at different worker counts)
+// serialise to identical bytes, which is the repo's equivalence test for
+// the parallel trainer.
+func (t *Tree) Serialize() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := t.Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // Read deserialises a tree written by Write and validates its structure.

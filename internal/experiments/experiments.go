@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"armdse/internal/dataset"
+	"armdse/internal/dtree"
 	"armdse/internal/orchestrate"
 	"armdse/internal/report"
 	"armdse/internal/workload"
@@ -29,8 +30,14 @@ type Options struct {
 	Samples int
 	// Seed drives sampling, splitting and shuffling.
 	Seed int64
-	// Workers bounds the simulation worker pool (0 = GOMAXPROCS).
+	// Workers bounds the simulation worker pool (0 = GOMAXPROCS). The
+	// same count drives the surrogate trainer's deterministic parallel
+	// build, so it never changes the trained models — only their cost.
 	Workers int
+	// Bins, when positive, trains the surrogates with the histogram-
+	// binned split finder at that many quantile bins per feature;
+	// 0 keeps the paper's exact split scan.
+	Bins int
 	// Suite is the workload set (nil = workload.TestSuite()).
 	Suite []workload.Workload
 	// Repeats is the permutation-importance repeat count (paper: 10).
@@ -60,6 +67,18 @@ func (o Options) withDefaults() Options {
 		o.Suite = workload.TestSuite()
 	}
 	return o
+}
+
+// treeOptions returns the surrogate-training options the drivers share: the
+// experiment's worker count re-used for the deterministic parallel build
+// (0 resolves to GOMAXPROCS inside dtree) and the configured bin count.
+func (o Options) treeOptions() dtree.Options {
+	return dtree.Options{Workers: o.Workers, Bins: o.Bins}
+}
+
+// importanceOptions returns the matching permutation-importance options.
+func (o Options) importanceOptions() dtree.ImportanceOptions {
+	return dtree.ImportanceOptions{Repeats: o.Repeats, Seed: o.Seed, Workers: o.Workers}
 }
 
 // Result is one regenerated table or figure.

@@ -175,7 +175,7 @@ func ExtUnified(ctx context.Context, opt Options) (Result, error) {
 			uy = append(uy, y[r])
 		}
 	}
-	unified, err := dtree.Train(ux, uy, dtree.Options{})
+	unified, err := dtree.Train(ux, uy, opt.treeOptions())
 	if err != nil {
 		return Result{}, err
 	}
@@ -188,7 +188,7 @@ func ExtUnified(ctx context.Context, opt Options) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		per, err := dtree.Train(train.X, yTrain, dtree.Options{})
+		per, err := dtree.Train(train.X, yTrain, opt.treeOptions())
 		if err != nil {
 			return Result{}, err
 		}

@@ -42,11 +42,13 @@ func ExtForest(ctx context.Context, opt Options) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		tree, err := dtree.Train(train.X, yTrain, dtree.Options{})
+		tree, err := dtree.Train(train.X, yTrain, opt.treeOptions())
 		if err != nil {
 			return Result{}, err
 		}
-		forest, err := dtree.TrainForest(train.X, yTrain, dtree.ForestOptions{Trees: 30, Seed: opt.Seed})
+		forest, err := dtree.TrainForest(train.X, yTrain, dtree.ForestOptions{
+			Trees: 30, Seed: opt.Seed, Workers: opt.Workers, Bins: opt.Bins,
+		})
 		if err != nil {
 			return Result{}, err
 		}

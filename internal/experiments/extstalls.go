@@ -106,7 +106,7 @@ func ExtStalls(ctx context.Context, opt Options) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		tree, err := dtree.Train(train.X, y, dtree.Options{})
+		tree, err := dtree.Train(train.X, y, opt.treeOptions())
 		if err != nil {
 			return Result{}, err
 		}
@@ -115,7 +115,7 @@ func ExtStalls(ctx context.Context, opt Options) (Result, error) {
 			return Result{}, err
 		}
 		acc := heldOutAccuracyLabel(tree, test.X, yTest)
-		imps, err := dtree.PermutationImportance(tree, train.X, y, train.FeatureNames, opt.Repeats, opt.Seed)
+		imps, err := dtree.PermutationImportanceOpt(tree, train.X, y, train.FeatureNames, opt.importanceOptions())
 		if err != nil {
 			return Result{}, err
 		}

@@ -45,7 +45,7 @@ func Fig2(ctx context.Context, opt Options) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		tree, err := dtree.Train(train.X, yTrain, dtree.Options{})
+		tree, err := dtree.Train(train.X, yTrain, opt.treeOptions())
 		if err != nil {
 			return Result{}, err
 		}

@@ -26,11 +26,11 @@ func importanceFor(ctx context.Context, opt Options, data *dataset.Dataset, id, 
 		if err != nil {
 			return Result{}, err
 		}
-		tree, err := dtree.Train(data.X, y, dtree.Options{})
+		tree, err := dtree.Train(data.X, y, opt.treeOptions())
 		if err != nil {
 			return Result{}, fmt.Errorf("experiments: training %s: %w", app, err)
 		}
-		imps, err := dtree.PermutationImportance(tree, data.X, y, data.FeatureNames, opt.Repeats, opt.Seed)
+		imps, err := dtree.PermutationImportanceOpt(tree, data.X, y, data.FeatureNames, opt.importanceOptions())
 		if err != nil {
 			return Result{}, err
 		}

@@ -1,0 +1,78 @@
+package memstats_test
+
+import (
+	"reflect"
+	"testing"
+
+	"armdse/internal/memstats"
+	"armdse/internal/simeng"
+	"armdse/internal/sstmem"
+)
+
+// fill sets every int64 field of c to a distinct value derived from base,
+// via reflection so a counter added later cannot silently escape the tests.
+func fill(t *testing.T, c *memstats.Counters, base int64) {
+	t.Helper()
+	v := reflect.ValueOf(c).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		if v.Field(i).Kind() != reflect.Int64 {
+			t.Fatalf("field %s is %s; these tests assume int64 counters", v.Type().Field(i).Name, v.Field(i).Kind())
+		}
+		v.Field(i).SetInt(base + int64(i))
+	}
+}
+
+func TestAddAccumulatesEveryField(t *testing.T) {
+	var a, b memstats.Counters
+	fill(t, &a, 100)
+	fill(t, &b, 1000)
+	a.Add(b)
+	av := reflect.ValueOf(a)
+	for i := 0; i < av.NumField(); i++ {
+		want := (100 + int64(i)) + (1000 + int64(i))
+		if got := av.Field(i).Int(); got != want {
+			t.Errorf("%s = %d after Add, want %d", av.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+func TestAddZeroIsIdentity(t *testing.T) {
+	var c memstats.Counters
+	fill(t, &c, 7)
+	before := c
+	c.Add(memstats.Counters{})
+	if c != before {
+		t.Errorf("Add(zero) changed counters: %+v -> %+v", before, c)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c memstats.Counters
+	fill(t, &c, 42)
+	c.Reset()
+	if c != (memstats.Counters{}) {
+		t.Errorf("Reset left %+v", c)
+	}
+}
+
+// TestAliasIdentity pins that the backend-facing names are true aliases of
+// Counters, not copies of the struct: values flow between the packages
+// without conversion, which is what lets simeng consume any backend's stats.
+func TestAliasIdentity(t *testing.T) {
+	var c memstats.Counters
+	fill(t, &c, 3)
+	var s sstmem.Stats = c
+	var m simeng.MemStats = s
+	if m != c {
+		t.Errorf("alias round trip changed value: %+v -> %+v", c, m)
+	}
+	if reflect.TypeOf(c) != reflect.TypeOf(s) || reflect.TypeOf(c) != reflect.TypeOf(m) {
+		t.Error("sstmem.Stats / simeng.MemStats are distinct types, want aliases of memstats.Counters")
+	}
+	// Methods defined on Counters must be callable through the aliases.
+	s.Add(c)
+	s.Reset()
+	if s != (sstmem.Stats{}) {
+		t.Errorf("Reset through alias left %+v", s)
+	}
+}

@@ -1,0 +1,22 @@
+package memstats
+
+// Add accumulates other into c, so per-phase or per-core snapshots can be
+// folded into a run total without each caller naming every counter.
+func (c *Counters) Add(other Counters) {
+	c.Accesses += other.Accesses
+	c.L1Hits += other.L1Hits
+	c.L1Misses += other.L1Misses
+	c.L2Hits += other.L2Hits
+	c.L2Misses += other.L2Misses
+	c.RAMReads += other.RAMReads
+	c.Writebacks += other.Writebacks
+	c.Prefetches += other.Prefetches
+	c.MSHRStallCycles += other.MSHRStallCycles
+	c.RowHits += other.RowHits
+	c.RowMisses += other.RowMisses
+}
+
+// Reset zeroes every counter, returning the receiver to its initial state.
+func (c *Counters) Reset() {
+	*c = Counters{}
+}

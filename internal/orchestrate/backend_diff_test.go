@@ -1,0 +1,94 @@
+package orchestrate
+
+import (
+	"testing"
+
+	"armdse/internal/params"
+	"armdse/internal/simeng"
+	"armdse/internal/sstmem"
+	"armdse/internal/workload"
+)
+
+// degenerateHierarchy returns an sstmem configuration that behaves as close
+// to an ideal memory as its Validate constraints allow: single-cycle L1 hit
+// latency and caches so large nothing ever leaves L1 after the first touch.
+func degenerateHierarchy(line int) sstmem.Config {
+	return sstmem.Config{
+		CacheLineWidth:  line,
+		L1DSize:         1 << 28,
+		L1DAssoc:        1 << 20,
+		L1DLatency:      1,
+		L1DClockGHz:     sstmem.DefaultCoreClockGHz,
+		L1DMSHRs:        1 << 16,
+		L2Size:          1 << 29,
+		L2Assoc:         1 << 20,
+		L2Latency:       2,
+		L2ClockGHz:      sstmem.DefaultCoreClockGHz,
+		RAMLatencyNs:    0.1,
+		RAMBandwidthGBs: 1 << 20,
+		CoreClockGHz:    sstmem.DefaultCoreClockGHz,
+	}
+}
+
+// TestFlatVsHierarchyFunctionalAgreement is the cross-backend differential
+// test: the same core and instruction stream must retire the same work on a
+// zero-ish-latency FlatMem and on the full hierarchy with degenerate caches.
+// Timing legitimately differs (the hierarchy still charges its hit path);
+// the functional counters — instructions retired by kind and line requests
+// issued — depend only on the program and the core configuration, so any
+// disagreement means one backend dropped, duplicated or mis-sliced requests.
+func TestFlatVsHierarchyFunctionalAgreement(t *testing.T) {
+	// Small instances of all four kernels: memory-streaming, stencil,
+	// vectorised compute and scalar sweep all exercise different request
+	// shapes, and this suite keeps the 2-backend x 3-config sweep fast.
+	suite := []workload.Workload{
+		workload.NewSTREAM(workload.STREAMInputs{ArraySize: 512, Times: 1}),
+		workload.NewTeaLeaf(workload.TeaLeafInputs{NX: 8, NY: 8, Steps: 1, CGIters: 2, Dt: 0.004}),
+		workload.NewMiniBUDE(workload.MiniBUDEInputs{Atoms: 26, Poses: 64, Iterations: 1, Repeats: 1}),
+		workload.NewMiniSweep(workload.MiniSweepInputs{NX: 4, NY: 4, NZ: 4, Angles: 4, Groups: 1, Sweeps: 1}),
+	}
+	for _, seedIdx := range []int{0, 3, 11} {
+		cfg := params.ConfigAt(77, seedIdx)
+		flat, err := simeng.NewFlatMem(1, cfg.Mem.CacheLineWidth, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hier, err := sstmem.New(degenerateHierarchy(cfg.Mem.CacheLineWidth))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range suite {
+			run := func(mem simeng.MemoryBackend) simeng.Stats {
+				prog, err := w.Program(cfg.Core.VectorLength)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st, err := simeng.Simulate(cfg.Core, mem, prog.Stream())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			}
+			fs := run(flat)
+			hs := run(hier)
+			type functional struct {
+				retired, sve, loads, stores, branches, memReqs int64
+			}
+			ff := functional{fs.Retired, fs.SVERetired, fs.Loads, fs.Stores, fs.Branches, fs.MemRequests}
+			hf := functional{hs.Retired, hs.SVERetired, hs.Loads, hs.Stores, hs.Branches, hs.MemRequests}
+			if ff != hf {
+				t.Errorf("config %d, %s: flat %+v != hierarchy %+v", seedIdx, w.Name(), ff, hf)
+			}
+			if fs.Retired == 0 {
+				t.Errorf("config %d, %s: retired nothing", seedIdx, w.Name())
+			}
+			// With caches this large the hierarchy's only misses are each
+			// line's first touch: misses are bounded by distinct lines, so
+			// hits must dominate on these looping workloads.
+			if hs.Mem.L1Misses > hs.Mem.L1Hits {
+				t.Errorf("config %d, %s: degenerate hierarchy missed more than it hit (%d > %d)",
+					seedIdx, w.Name(), hs.Mem.L1Misses, hs.Mem.L1Hits)
+			}
+		}
+	}
+}
