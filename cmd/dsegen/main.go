@@ -26,11 +26,51 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"armdse"
 )
+
+// profileTo starts CPU profiling into cpuPath (empty = off) and returns a
+// stop function that also writes an allocation profile to memPath (empty =
+// off). Collection sweeps are the binaries' hot path, so both CLIs expose
+// the standard pprof pair.
+func profileTo(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialise final live-heap numbers
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -71,12 +111,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		resume  = fs.Bool("resume", false, "resume an interrupted run from <out>.journal, skipping completed configs")
 		shard   = fs.String("shard", "", "collect only shard i/n of the index space (e.g. 3/8); union of shards = full run")
 		quiet   = fs.Bool("q", false, "suppress progress output")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *samples <= 0 {
 		return fmt.Errorf("samples %d <= 0", *samples)
+	}
+	if *cpuProf != "" || *memProf != "" {
+		stopProf, err := profileTo(*cpuProf, *memProf)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stopProf(); err != nil {
+				fmt.Fprintln(stderr, "dsegen: profile:", err)
+			}
+		}()
 	}
 	// Validate the shard spec before the journal exists, so a typo does not
 	// leave a stray empty journal behind.

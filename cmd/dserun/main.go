@@ -13,11 +13,50 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"armdse"
 	"armdse/internal/sstmem"
 	"armdse/internal/workload"
 )
+
+// profileTo starts CPU profiling into cpuPath (empty = off) and returns a
+// stop function that also writes an allocation profile to memPath (empty =
+// off).
+func profileTo(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialise final live-heap numbers
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -39,9 +78,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		verbose  = fs.Bool("v", false, "print detailed memory statistics")
 		maxCyc   = fs.Int64("max-cycles", 0, "abort the run after this many simulated cycles (0 = engine default)")
 		dumpBase = fs.String("dump-baseline", "", "write the ThunderX2 baseline config to this path and exit")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" || *memProf != "" {
+		stopProf, err := profileTo(*cpuProf, *memProf)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stopProf(); err != nil {
+				fmt.Fprintln(stderr, "dserun: profile:", err)
+			}
+		}()
 	}
 
 	if *dumpBase != "" {

@@ -48,6 +48,15 @@ func NewBackend(cfg sstmem.Config) (*Backend, error) {
 	return &Backend{Hierarchy: h}, nil
 }
 
+// Reset reconfigures the pooled backend in place for a new run, applying the
+// same fidelity pin as NewBackend: whatever cfg says, the hierarchy runs at
+// High fidelity. Without this override a pooled proxy reset through the
+// generic sstmem path could silently degrade into the model under study.
+func (b *Backend) Reset(cfg sstmem.Config) error {
+	cfg.Fidelity = sstmem.High
+	return b.Hierarchy.Reset(cfg)
+}
+
 // BaselineSim returns the study's simulation baseline: the ThunderX2 point
 // with the Basic (SST-like) memory model.
 func BaselineSim() params.Config {

@@ -51,6 +51,75 @@ func NewBackend(kind string, cfg params.Config) (simeng.MemoryBackend, error) {
 	}
 }
 
+// BackendPool reuses one memory backend per kind across runs. Get returns a
+// backend configured for cfg exactly as NewBackend would, but after the
+// first call per kind it resets the retained instance in place instead of
+// building a new one, so a worker's hierarchy (cache ways, line tables,
+// MSHR and bank arrays) is allocated once and reused for every run.
+//
+// A pool is single-consumer, like the backends it holds: each engine worker
+// owns one.
+type BackendPool struct {
+	hier  *sstmem.Hierarchy
+	flat  *simeng.FlatMem
+	proxy *hwproxy.Backend
+}
+
+// Get returns the named backend reset for cfg (see NewBackend for the kind
+// names; empty selects BackendSST).
+func (p *BackendPool) Get(kind string, cfg params.Config) (simeng.MemoryBackend, error) {
+	switch kind {
+	case "", BackendSST:
+		if p.hier == nil {
+			h, err := sstmem.New(cfg.Mem)
+			if err != nil {
+				return nil, err
+			}
+			p.hier = h
+			return h, nil
+		}
+		if err := p.hier.Reset(cfg.Mem); err != nil {
+			return nil, err
+		}
+		return p.hier, nil
+	case BackendFlat:
+		mc := cfg.Mem
+		if mc.CoreClockGHz == 0 {
+			mc.CoreClockGHz = sstmem.DefaultCoreClockGHz
+		}
+		if err := mc.Validate(); err != nil {
+			return nil, err
+		}
+		if p.flat == nil {
+			m, err := simeng.NewFlatMem(mc.L1LatencyCore(), mc.CacheLineWidth, 0)
+			if err != nil {
+				return nil, err
+			}
+			p.flat = m
+			return m, nil
+		}
+		if err := p.flat.Reset(mc.L1LatencyCore(), mc.CacheLineWidth, 0); err != nil {
+			return nil, err
+		}
+		return p.flat, nil
+	case BackendProxy:
+		if p.proxy == nil {
+			b, err := hwproxy.NewBackend(cfg.Mem)
+			if err != nil {
+				return nil, err
+			}
+			p.proxy = b
+			return b, nil
+		}
+		if err := p.proxy.Reset(cfg.Mem); err != nil {
+			return nil, err
+		}
+		return p.proxy, nil
+	default:
+		return nil, fmt.Errorf("orchestrate: unknown memory backend %q (want one of %v)", kind, Backends())
+	}
+}
+
 // Simulate runs stream on a fresh core over the default (SST-like) backend
 // built from cfg — the study's standard core/memory pairing.
 func Simulate(cfg params.Config, stream isa.Stream) (simeng.Stats, error) {

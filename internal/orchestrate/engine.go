@@ -189,8 +189,12 @@ func (e *Engine) Run(ctx context.Context) (done, failed int, err error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one pooled run context: core, backend and
+			// stream cursor are allocated on the first job and reset in
+			// place for every subsequent one.
+			rc := newRunContext()
 			for i := range jobs {
-				row := e.runConfig(cache, i, maxCycles)
+				row := e.runConfig(cache, rc, i, maxCycles)
 				mu.Lock()
 				if sinkErr != nil {
 					mu.Unlock()
@@ -246,19 +250,19 @@ feed:
 }
 
 // runConfig is the worker stage: simulate the full suite on configuration
-// index i and record the outcome.
-func (e *Engine) runConfig(cache *programCache, i int, maxCycles int64) Row {
+// index i through the worker's pooled run context and record the outcome.
+func (e *Engine) runConfig(cache *programCache, rc *runContext, i int, maxCycles int64) Row {
 	cfg := e.Source.At(i)
 	row := Row{Index: i, Config: cfg, Features: cfg.Features()}
 	targets := make(map[string]float64, len(e.Suite))
 	stalls := make(map[string]simeng.StallBreakdown, len(e.Suite))
 	for _, w := range e.Suite {
-		prog, err := cache.get(w, cfg.Core.VectorLength)
+		prog, arena, err := cache.get(w, cfg.Core.VectorLength)
 		if err != nil {
 			row.Err = err
 			return row
 		}
-		st, err := simulateLimited(e.Backend, cfg, prog, maxCycles)
+		st, err := rc.simulate(e.Backend, cfg, prog, arena, maxCycles)
 		row.Cycles += st.Cycles
 		if err != nil {
 			row.Err = fmt.Errorf("%s: %w", w.Name(), err)
@@ -270,20 +274,6 @@ func (e *Engine) runConfig(cache *programCache, i int, maxCycles int64) Row {
 	row.Targets = targets
 	row.Stalls = stalls
 	return row
-}
-
-// simulateLimited builds a fresh core/backend pair and runs prog's stream
-// under the cycle budget.
-func simulateLimited(backend string, cfg params.Config, prog *workload.Program, maxCycles int64) (simeng.Stats, error) {
-	mem, err := NewBackend(backend, cfg)
-	if err != nil {
-		return simeng.Stats{}, err
-	}
-	c, err := simeng.New(cfg.Core, mem)
-	if err != nil {
-		return simeng.Stats{}, err
-	}
-	return c.RunLimit(prog.Stream(), maxCycles)
 }
 
 // SuiteNames returns the application names of a workload suite, in order —

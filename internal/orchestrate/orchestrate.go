@@ -93,7 +93,15 @@ func RunOneOn(backend string, cfg params.Config, w workload.Workload, maxCycles 
 	if maxCycles <= 0 {
 		maxCycles = simeng.DefaultMaxCycles
 	}
-	return simulateLimited(backend, cfg, p, maxCycles)
+	mem, err := NewBackend(backend, cfg)
+	if err != nil {
+		return simeng.Stats{}, err
+	}
+	c, err := simeng.New(cfg.Core, mem)
+	if err != nil {
+		return simeng.Stats{}, err
+	}
+	return c.RunLimit(p.Stream(), maxCycles)
 }
 
 // Collect runs the full pipeline. Configurations whose simulation fails

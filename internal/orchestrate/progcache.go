@@ -3,13 +3,22 @@ package orchestrate
 import (
 	"sync"
 
+	"armdse/internal/isa"
 	"armdse/internal/workload"
 )
 
-// programCache shares built programs between workers: the instruction
-// stream depends only on (application, vector length), so at most a
-// handful of programs exist per app. Programs are immutable after
-// construction; streams are per-run.
+// programCache shares built programs — and their pre-materialized
+// instruction arenas — between workers: the instruction stream depends only
+// on (application, vector length), so at most a handful of programs exist
+// per app. Programs and arenas are immutable after construction; stream
+// cursors are per-run.
+//
+// The arena is the program's full dynamic trace expanded once into a flat
+// []isa.Inst (see workload.Program.Materialize). Every configuration sharing
+// the (app, vl) pair replays the same arena through its own SliceStream
+// cursor instead of re-deriving each instruction from the loop templates per
+// run. Programs whose traces exceed the materialization budget get a nil
+// arena and fall back to the lazy stream.
 //
 // The cache holds its map lock only while resolving the entry; the program
 // itself is built outside the lock under a per-entry sync.Once, so one
@@ -26,16 +35,17 @@ type progKey struct {
 }
 
 type progEntry struct {
-	once sync.Once
-	prog *workload.Program
-	err  error
+	once  sync.Once
+	prog  *workload.Program
+	arena []isa.Inst
+	err   error
 }
 
 func newProgramCache() *programCache {
 	return &programCache{entries: make(map[progKey]*progEntry)}
 }
 
-func (pc *programCache) get(w workload.Workload, vl int) (*workload.Program, error) {
+func (pc *programCache) get(w workload.Workload, vl int) (*workload.Program, []isa.Inst, error) {
 	key := progKey{name: w.Name(), vl: vl}
 	pc.mu.Lock()
 	e, ok := pc.entries[key]
@@ -44,6 +54,11 @@ func (pc *programCache) get(w workload.Workload, vl int) (*workload.Program, err
 		pc.entries[key] = e
 	}
 	pc.mu.Unlock()
-	e.once.Do(func() { e.prog, e.err = w.Program(vl) })
-	return e.prog, e.err
+	e.once.Do(func() {
+		e.prog, e.err = w.Program(vl)
+		if e.err == nil {
+			e.arena = e.prog.Materialize(0)
+		}
+	})
+	return e.prog, e.arena, e.err
 }

@@ -1,0 +1,144 @@
+package orchestrate
+
+import (
+	"reflect"
+	"testing"
+
+	"armdse/internal/params"
+	"armdse/internal/simeng"
+	"armdse/internal/workload"
+)
+
+// freshRunSST is the reference semantics for the pooled path: a brand-new
+// SST backend and core per run, consuming the program's lazy stream (so it
+// also cross-checks the materialized arena against per-instruction
+// generation).
+func freshRunSST(t *testing.T, cfg params.Config, w workload.Workload) simeng.Stats {
+	t.Helper()
+	prog, err := w.Program(cfg.Core.VectorLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := NewBackend(BackendSST, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := simeng.Simulate(cfg.Core, mem, prog.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestPooledMatchesFresh is the pooled-vs-fresh differential: one runContext
+// carries every (config, workload) run in sequence — the production worker
+// pattern — and each result must equal, field for field, the same run on a
+// freshly constructed core, backend and stream. The config list deliberately
+// whipsaws sizes: a maximal-ROB design immediately followed by a minimal one,
+// so any state the Resets fail to shrink or clear (window slots, line-table
+// entries, heap contents, loop-buffer locks) would leak into the small run.
+func TestPooledMatchesFresh(t *testing.T) {
+	big := params.ThunderX2()
+	big.Core.ROBSize = 512
+	big.Core.LoadQueueSize = 512
+	big.Core.StoreQueueSize = 512
+	small := params.ThunderX2()
+	small.Core.ROBSize = 8
+	small.Core.LoadQueueSize = 4
+	small.Core.StoreQueueSize = 4
+	configs := []params.Config{
+		params.ConfigAt(42, 0),
+		big,
+		small, // adversarial: max-ROB run directly before min-ROB
+		params.ConfigAt(42, 5),
+	}
+	cache := newProgramCache()
+	rc := newRunContext()
+	for ci, cfg := range configs {
+		for _, w := range tinySuite() {
+			prog, arena, err := cache.get(w, cfg.Core.VectorLength)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if arena == nil {
+				t.Fatalf("%s vl=%d: no arena for a tiny workload", w.Name(), cfg.Core.VectorLength)
+			}
+			pooled, err := rc.simulate(BackendSST, cfg, prog, arena, simeng.DefaultMaxCycles)
+			if err != nil {
+				t.Fatalf("config %d, %s: pooled run failed: %v", ci, w.Name(), err)
+			}
+			fresh := freshRunSST(t, cfg, w)
+			if !reflect.DeepEqual(pooled, fresh) {
+				t.Errorf("config %d, %s: pooled stats != fresh stats\npooled: %+v\nfresh:  %+v",
+					ci, w.Name(), pooled, fresh)
+			}
+			if pooled.Retired == 0 {
+				t.Errorf("config %d, %s: retired nothing", ci, w.Name())
+			}
+		}
+	}
+}
+
+// TestPooledTruncatedThenFull pins Reset behaviour after an *aborted* run: a
+// run cut off mid-flight by the cycle budget leaves the core full of live
+// state (in-flight loads, locked loop buffer, part-drained queues), and the
+// next full run on the same context must still be byte-identical to a fresh
+// core's.
+func TestPooledTruncatedThenFull(t *testing.T) {
+	cfg := params.ThunderX2()
+	w := tinySuite()[0]
+	cache := newProgramCache()
+	prog, arena, err := cache.get(w, cfg.Core.VectorLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := newRunContext()
+	if _, err := rc.simulate(BackendSST, cfg, prog, arena, 50); err == nil {
+		t.Fatal("50-cycle budget did not truncate the run")
+	}
+	full, err := rc.simulate(BackendSST, cfg, prog, arena, simeng.DefaultMaxCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := freshRunSST(t, cfg, w)
+	if !reflect.DeepEqual(full, fresh) {
+		t.Errorf("post-truncation pooled stats != fresh stats\npooled: %+v\nfresh:  %+v", full, fresh)
+	}
+}
+
+// allocBudgetPerRun is the pinned steady-state heap-allocation budget for one
+// pooled (config, workload) run. The hot path is designed to allocate
+// nothing once the pooled structures reach their high-water marks; the
+// budget leaves slack only for one-off growth events (a heap or ready-list
+// doubling on a new workload mix) and instrumentation noise.
+const allocBudgetPerRun = 8
+
+// TestPooledRunSteadyStateAllocs pins the zero-allocation property of the
+// pooled run path: after warm-up runs grow every table to its high-water
+// mark, further runs through the same runContext must stay within
+// allocBudgetPerRun heap allocations each.
+func TestPooledRunSteadyStateAllocs(t *testing.T) {
+	cfg := params.ThunderX2()
+	cache := newProgramCache()
+	suite := tinySuite()
+	rc := newRunContext()
+	run := func() {
+		for _, w := range suite {
+			prog, arena, err := cache.get(w, cfg.Core.VectorLength)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rc.simulate(BackendSST, cfg, prog, arena, simeng.DefaultMaxCycles); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run() // warm-up: grow pooled arrays/tables to their high-water marks
+	perSuite := testing.AllocsPerRun(5, run)
+	perRun := perSuite / float64(len(suite))
+	t.Logf("steady-state allocations: %.2f per run", perRun)
+	if perRun > allocBudgetPerRun {
+		t.Errorf("steady-state allocations: %.1f per run (%.1f per %d-workload suite), budget %d",
+			perRun, perSuite, len(suite), allocBudgetPerRun)
+	}
+}

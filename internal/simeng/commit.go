@@ -8,7 +8,7 @@ import "armdse/internal/isa"
 // the stall bus — a cycle with any commit is a Busy cycle.
 func (c *Core) commitStage() {
 	for n := 0; n < c.cfg.CommitWidth && c.seqCommitted < c.seqDispatched; n++ {
-		e := &c.window[c.seqCommitted%c.cp]
+		e := &c.window[c.seqCommitted&c.wmask]
 		if e.state != stExec || e.resultAt > c.cycle {
 			return
 		}

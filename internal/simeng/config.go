@@ -122,6 +122,10 @@ func (c Config) Validate() error {
 			c.MemRequestsPerCycle, c.MemLoadsPerCycle, c.MemStoresPerCycle)
 	}
 	if c.Ports != nil {
+		// The scheduler tracks port availability in a 64-bit mask.
+		if len(c.Ports) > 64 {
+			return fmt.Errorf("simeng: custom port layout has %d ports, max 64", len(c.Ports))
+		}
 		for g := isa.Group(0); g < isa.NumGroups; g++ {
 			ok := false
 			for _, p := range c.Ports {

@@ -93,15 +93,23 @@ type TraceEvent struct {
 // split into stage components — fetchUnit, renameUnit, issueUnit, lsqUnit —
 // each owning its stage's private state; the shared window, sequence
 // counters, event heap and stallBus live on the Core. A Core runs a single
-// instruction stream and is then exhausted; build a new Core (and backend)
-// per run.
+// instruction stream per lifecycle: after a run (or between runs of a
+// sweep) call Reset to rebuild it in place for a new configuration and
+// backend — backing storage is retained, so a pooled core reaches a
+// steady state with no per-run allocation.
 type Core struct {
 	cfg       Config
 	mem       MemoryBackend
 	lineBytes uint64
 
+	// window is the reorder buffer slot storage, sized to the power-of-two
+	// ceiling of ROBSize so slot lookup is seq&wmask instead of a 64-bit
+	// modulo (the single hottest index computation in the engine). Logical
+	// capacity checks still use cp; the extra slots merely spread live
+	// entries over a wider ring and are never occupied simultaneously.
 	window []entry
-	cp     int64 // window capacity (== ROBSize)
+	cp     int64 // logical window capacity (== ROBSize)
+	wmask  int64 // len(window)-1
 
 	seqRenamed    int64
 	seqDispatched int64
@@ -109,12 +117,21 @@ type Core struct {
 
 	// fetchQ and renameQ are the inter-stage latches (fetch→rename and
 	// rename→dispatch); they stay on the Core because each is shared by
-	// its producer and consumer stage.
-	fetchQ  ring[isa.Inst]
+	// its producer and consumer stage. fetchQ carries pointers into the
+	// stream arena or the fetch unit's lazyBuf (see fetchUnit) so fetched
+	// instructions are never copied per stage.
+	fetchQ  ring[*isa.Inst]
 	renameQ ring[renamed]
 	// events is the idle-skip heap: stages post future wake-up cycles so a
 	// no-progress cycle can jump straight to the next one with work.
 	events int64Heap
+	// evCache deduplicates event postings: stages repost the same wake-up
+	// cycle many times within one step (every issued µop posts cycle+1),
+	// and duplicates are idempotent — the skipper pops the earliest and
+	// drains the rest as stale — so identical (cycle, at) postings are
+	// dropped before they reach the heap. Two MRU slots cover the common
+	// interleaving of "next cycle" and "data return" postings.
+	evCache [2]evStamp
 
 	fetch  fetchUnit
 	rename renameUnit
@@ -129,37 +146,112 @@ type Core struct {
 	tracer   func(TraceEvent)
 }
 
+// evStamp is one event-dedup cache slot: a posted wake-up cycle and the
+// step it was posted in.
+type evStamp struct {
+	at   int64
+	step int64
+}
+
+// postEvent schedules a wake-up on the idle-skip heap, dropping postings
+// that duplicate one already made this step. at must be > c.cycle >= 0, so
+// the zero-valued cache never spuriously matches.
+func (c *Core) postEvent(at int64) {
+	if (c.evCache[0].at == at && c.evCache[0].step == c.cycle) ||
+		(c.evCache[1].at == at && c.evCache[1].step == c.cycle) {
+		return
+	}
+	c.evCache[1] = c.evCache[0]
+	c.evCache[0] = evStamp{at: at, step: c.cycle}
+	c.events.Push(at)
+}
+
 // SetTracer installs a per-instruction commit callback. Tracing is for
 // debugging and the dsetrace tool; it slows simulation and must be set
 // before Run.
 func (c *Core) SetTracer(fn func(TraceEvent)) { c.tracer = fn }
 
+// fetchQCap and renameQCap are the inter-stage latch capacities.
+const (
+	fetchQCap  = 192
+	renameQCap = 16
+)
+
 // New builds a core from cfg attached to the given memory backend.
 func New(cfg Config, mem MemoryBackend) (*Core, error) {
-	if err := cfg.Validate(); err != nil {
+	c := &Core{}
+	if err := c.Reset(cfg, mem); err != nil {
 		return nil, err
 	}
+	return c, nil
+}
+
+// Reset rebuilds the core in place for a new run on cfg and mem, exactly as
+// if it had been built with New — but retaining every backing array (window
+// slots, queue buffers, heaps, per-port and per-class tables) so a pooled
+// core allocates nothing at steady state. Reset clears any installed
+// tracer; call SetTracer again after Reset if tracing is wanted.
+//
+// The contract, pinned by the pooled-vs-fresh differential tests: a Run
+// after Reset is byte-identical to the same Run on a freshly constructed
+// core, whatever ran on the core before — including failed, truncated, or
+// larger-configuration runs.
+func (c *Core) Reset(cfg Config, mem MemoryBackend) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	if mem == nil {
-		return nil, fmt.Errorf("simeng: nil memory backend")
+		return fmt.Errorf("simeng: nil memory backend")
 	}
 	lb := mem.LineBytes()
 	if lb < 4 || lb&(lb-1) != 0 {
-		return nil, fmt.Errorf("simeng: backend line size %d not a power of two >= 4", lb)
+		return fmt.Errorf("simeng: backend line size %d not a power of two >= 4", lb)
 	}
-	c := &Core{
-		cfg:       cfg,
-		mem:       mem,
-		lineBytes: uint64(lb),
-		window:    make([]entry, cfg.ROBSize),
-		cp:        int64(cfg.ROBSize),
-		fetchQ:    newRing[isa.Inst](192),
-		renameQ:   newRing[renamed](16),
+	c.cfg = cfg
+	c.mem = mem
+	c.lineBytes = uint64(lb)
+	c.cp = int64(cfg.ROBSize)
+	n := nextPow2(cfg.ROBSize)
+	c.wmask = int64(n - 1)
+	// The window is deliberately NOT cleared on reuse: no entry field is
+	// read before dispatchStage has stored every one of them, so stale
+	// slots from a previous run are unobservable (the pooled-vs-fresh
+	// differential tests exercise exactly this).
+	if cap(c.window) >= n {
+		c.window = c.window[:n]
+	} else {
+		c.window = make([]entry, n)
 	}
-	c.lsq.init(cfg)
-	c.issue.init(cfg)
-	c.rename.init(cfg)
-	c.stats.PortIssued = make([]int64, len(c.issue.ports))
-	return c, nil
+	c.seqRenamed, c.seqDispatched, c.seqCommitted = 0, 0, 0
+	c.fetchQ.reset(fetchQCap)
+	c.renameQ.reset(renameQCap)
+	c.events.reset()
+	c.evCache = [2]evStamp{}
+	c.fetch.reset()
+	c.rename.reset(cfg)
+	c.issue.reset(cfg)
+	c.lsq.reset(cfg)
+	c.bus.reset()
+	c.cycle = 0
+	c.progress = false
+	c.runErr = nil
+	c.resetStats()
+	c.tracer = nil
+	return nil
+}
+
+// resetStats zeroes the run statistics, reusing the per-port slice.
+func (c *Core) resetStats() {
+	pi := c.stats.PortIssued
+	c.stats = Stats{}
+	n := len(c.issue.ports)
+	if cap(pi) >= n {
+		pi = pi[:n]
+		clear(pi)
+	} else {
+		pi = make([]int64, n)
+	}
+	c.stats.PortIssued = pi
 }
 
 // Simulate runs stream on a fresh core attached to mem and returns the run
@@ -190,9 +282,12 @@ func (c *Core) Run(stream isa.Stream) (Stats, error) {
 // so Stats.Stalls sums to Stats.Cycles on every successful run.
 func (c *Core) RunLimit(stream isa.Stream, maxCycles int64) (Stats, error) {
 	if c.fetch.stream != nil {
-		return Stats{}, fmt.Errorf("simeng: core already used; build a new one per run")
+		return Stats{}, fmt.Errorf("simeng: core already used; Reset it (or build a new one) per run")
 	}
 	c.fetch.stream = stream
+	if rs, ok := stream.(refStream); ok {
+		c.fetch.refs = rs
+	}
 	for {
 		c.progress = false
 		c.bus.reset()
@@ -219,11 +314,27 @@ func (c *Core) RunLimit(stream isa.Stream, maxCycles int64) (Stats, error) {
 		if c.progress {
 			c.cycle++
 		} else {
-			if c.events.Len() == 0 {
+			// The next cycle with work is the earliest pending wake-up
+			// across the three event sources: explicitly posted events,
+			// in-flight load data returns (loadHeap) and future-ready RS
+			// entries (readyHeap). The latter two are consulted in place
+			// rather than duplicated into the events heap. The events
+			// minimum is peeked, not popped — once the skip lands on it,
+			// drainStaleEvents removes it at the next step.
+			next := int64(math.MaxInt64)
+			if c.events.Len() > 0 {
+				next = c.events.Min()
+			}
+			if h := &c.lsq.loadHeap; h.Len() > 0 && h.Min().at < next {
+				next = h.Min().at
+			}
+			if h := &c.issue.readyHeap; h.Len() > 0 && h.Min().at < next {
+				next = h.Min().at
+			}
+			if next == math.MaxInt64 {
 				return c.stats, fmt.Errorf("simeng: deadlock at cycle %d (%d retired, %d in flight)",
 					c.cycle, c.stats.Retired, c.seqDispatched-c.seqCommitted)
 			}
-			next := c.events.Pop()
 			if next <= c.cycle {
 				// drainStaleEvents should prevent this.
 				next = c.cycle + 1

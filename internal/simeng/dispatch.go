@@ -33,32 +33,38 @@ func (c *Core) dispatchStage() {
 				return
 			}
 		}
-		r := c.renameQ.Pop()
+		r := rec
 		seq := c.seqDispatched
 		c.seqDispatched++
-		e := &c.window[seq%c.cp]
-		*e = entry{
-			resultAt:     doneNever,
-			nextLine:     r.addr,
-			endAddr:      r.addr + uint64(r.bytes),
-			addr:         r.addr,
-			pc:           r.pc,
-			dispatchedAt: c.cycle,
-			wakeHead:     -1,
-			wakeNext:     [4]int64{-1, -1, -1, -1},
-			op:           r.op,
-			sve:          r.sve,
-			state:        stInRS,
-			nd:           r.nd,
-			destClass:    r.destClass,
-		}
+		e := &c.window[seq&c.wmask]
+		// Field-by-field store: a composite literal here builds a ~130-byte
+		// stack temp and duffcopies it into the slot on every dispatch.
+		e.resultAt = doneNever
+		e.memDone = 0
+		e.nextLine = r.addr
+		e.endAddr = r.addr + uint64(r.bytes)
+		e.addr = r.addr
+		e.earliestReady = 0
+		e.pc = r.pc
+		e.dispatchedAt = c.cycle
+		e.wakeHead = -1
+		e.wakeNext[0] = -1
+		e.wakeNext[1] = -1
+		e.wakeNext[2] = -1
+		e.wakeNext[3] = -1
+		e.op = r.op
+		e.sve = r.sve
+		e.state = stInRS
+		e.nd = r.nd
+		e.pendingSrcs = 0
+		e.destClass = r.destClass
 		// Resolve sources now or subscribe to their producers.
 		for i := 0; i < int(r.ns); i++ {
 			s := r.srcSeq[i]
 			if s < 0 || s < c.seqCommitted {
 				continue // architectural or committed: ready
 			}
-			p := &c.window[s%c.cp]
+			p := &c.window[s&c.wmask]
 			if p.resultAt != doneNever {
 				if p.resultAt > e.earliestReady {
 					e.earliestReady = p.resultAt
@@ -79,6 +85,7 @@ func (c *Core) dispatchStage() {
 		case isa.Store:
 			c.lsq.sqCount++
 		}
+		c.renameQ.Drop()
 		c.issue.rsCount++
 		c.progress = true
 	}

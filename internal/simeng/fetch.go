@@ -2,16 +2,44 @@ package simeng
 
 import "armdse/internal/isa"
 
+// refStream is an optional Stream extension yielding instructions by
+// read-only reference instead of by copy; isa.SliceStream implements it.
+// When the run's stream provides it, the front end reads instructions
+// directly from the stream's backing storage, skipping the per-instruction
+// struct copy into the peek buffer.
+type refStream interface {
+	NextRef() *isa.Inst
+}
+
 // fetchUnit is the front-end stage component: the stream lookahead and the
-// loop-buffer lock state.
+// loop-buffer lock state. peekRef points at the current lookahead
+// instruction — into the stream's storage on the refStream path, into
+// lazyBuf otherwise.
+//
+// The fetch queue holds pointers, not values: on the refStream path they
+// point straight into the (shared, read-only) arena, and on the lazy path
+// into lazyBuf, a private ring of fetchQCap+1 slots the stream decodes
+// directly into. A slot is reused only after fetchQCap+1 further pushes, by
+// which point the queue (capacity fetchQCap) must have dropped it — so every
+// pointer stays valid from peek through rename.
 type fetchUnit struct {
 	stream     isa.Stream
-	peek       isa.Inst
+	refs       refStream
+	peekRef    *isa.Inst
+	lazyBuf    []isa.Inst
+	lazyIdx    int
 	havePeek   bool
 	streamDone bool
 	lbActive   bool
 	lbBranchPC uint64
 	lbSeen     int
+}
+
+// reset re-initialises the unit for a new run, retaining lazyBuf.
+func (u *fetchUnit) reset() {
+	buf := u.lazyBuf
+	*u = fetchUnit{}
+	u.lazyBuf = buf
 }
 
 // ensurePeek keeps a one-instruction lookahead over the stream.
@@ -22,10 +50,25 @@ func (u *fetchUnit) ensurePeek() bool {
 	if u.streamDone {
 		return false
 	}
-	if !u.stream.Next(&u.peek) {
+	if u.refs != nil {
+		p := u.refs.NextRef()
+		if p == nil {
+			u.streamDone = true
+			return false
+		}
+		u.peekRef = p
+		u.havePeek = true
+		return true
+	}
+	if u.lazyBuf == nil {
+		u.lazyBuf = make([]isa.Inst, fetchQCap+1)
+	}
+	slot := &u.lazyBuf[u.lazyIdx]
+	if !u.stream.Next(slot) {
 		u.streamDone = true
 		return false
 	}
+	u.peekRef = slot
 	u.havePeek = true
 	return true
 }
@@ -42,7 +85,7 @@ func (c *Core) fetchStage() {
 		if !u.ensurePeek() {
 			return
 		}
-		pc := u.peek.PC
+		pc := u.peekRef.PC
 		if !u.lbActive {
 			if !blockSet {
 				blockEnd = (pc &^ (fbs - 1)) + fbs
@@ -53,8 +96,18 @@ func (c *Core) fetchStage() {
 				return
 			}
 		}
-		inst := u.peek
+		// inst aliases the lookahead (lazyBuf slot or stream storage); the
+		// pointer stays valid through rename — see the fetchUnit comment.
+		// Read-only on the refStream path.
+		inst := u.peekRef
 		u.havePeek = false
+		if u.refs == nil {
+			// Consumed a lazyBuf slot: advance to the next one.
+			u.lazyIdx++
+			if u.lazyIdx == len(u.lazyBuf) {
+				u.lazyIdx = 0
+			}
+		}
 		c.fetchQ.Push(inst)
 		c.stats.Fetched++
 		if u.lbActive {

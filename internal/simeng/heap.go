@@ -6,6 +6,10 @@ type int64Heap struct{ a []int64 }
 
 func (h *int64Heap) Len() int { return len(h.a) }
 
+// reset empties the heap, retaining the backing array for reuse by the next
+// run of a pooled core.
+func (h *int64Heap) reset() { h.a = h.a[:0] }
+
 func (h *int64Heap) Push(v int64) {
 	h.a = append(h.a, v)
 	i := len(h.a) - 1
@@ -56,6 +60,10 @@ type seqEvent struct {
 type seqHeap struct{ a []seqEvent }
 
 func (h *seqHeap) Len() int { return len(h.a) }
+
+// reset empties the heap, retaining the backing array for reuse by the next
+// run of a pooled core.
+func (h *seqHeap) reset() { h.a = h.a[:0] }
 
 func (h *seqHeap) Push(v seqEvent) {
 	h.a = append(h.a, v)

@@ -1,6 +1,10 @@
 package simeng
 
-import "armdse/internal/isa"
+import (
+	"math/bits"
+
+	"armdse/internal/isa"
+)
 
 // issueUnit is the scheduler stage component: the reservation station,
 // wakeup/select machinery and the execution ports.
@@ -14,6 +18,11 @@ type issueUnit struct {
 	readyHeap seqHeap
 	readyList []int64
 	ports     []portState
+	// groupPorts[g] is the bitmask of ports accepting group g, so port
+	// selection is one AND + trailing-zeros instead of a per-port
+	// GroupSet.Has scan. Bit order is port index order, which keeps the
+	// lowest-set-bit pick identical to the original first-match scan.
+	groupPorts [isa.NumGroups]uint64
 }
 
 // portState is one execution port.
@@ -22,9 +31,21 @@ type portState struct {
 	freeAt int64
 }
 
-func (u *issueUnit) init(cfg Config) {
-	for _, p := range cfg.EffectivePorts() {
+// reset re-initialises the unit for a new run, reusing the port slice and
+// the ready heap/list backing arrays.
+func (u *issueUnit) reset(cfg Config) {
+	u.rsCount = 0
+	u.readyHeap.reset()
+	u.readyList = u.readyList[:0]
+	u.ports = u.ports[:0]
+	u.groupPorts = [isa.NumGroups]uint64{}
+	for i, p := range cfg.EffectivePorts() {
 		u.ports = append(u.ports, portState{accept: p.Accept})
+		for g := isa.Group(0); g < isa.NumGroups; g++ {
+			if p.Accept.Has(g) {
+				u.groupPorts[g] |= 1 << i
+			}
+		}
 	}
 }
 
@@ -35,7 +56,7 @@ func (c *Core) resolveWaiters(e *entry, at int64) {
 	e.wakeHead = -1
 	for n >= 0 {
 		cseq := n >> 2
-		cons := &c.window[cseq%c.cp]
+		cons := &c.window[cseq&c.wmask]
 		slot := n & 3
 		n = cons.wakeNext[slot]
 		cons.wakeNext[slot] = -1
@@ -50,15 +71,32 @@ func (c *Core) resolveWaiters(e *entry, at int64) {
 }
 
 // markReady enqueues a fully-resolved entry for issue at its ready cycle.
+//
+// Entries ready now bypass the heap and insert straight into the age-ordered
+// ready list — equivalent to the heap round-trip because the list's content
+// at selection time is the same sorted set either way: callers that run
+// before issueStage in a step (memoryStage completions) make the entry
+// selectable this cycle through both paths, callers that run after it
+// (dispatch) make it selectable next cycle through both paths, and
+// issueStage's own resolveWaiters calls always yield future ready times
+// (resultAt >= cycle+1), so the list is never extended mid-selection.
 func (c *Core) markReady(seq int64, e *entry) {
 	at := e.earliestReady
-	if at < c.cycle {
-		at = c.cycle
+	if at <= c.cycle {
+		u := &c.issue
+		i := len(u.readyList)
+		u.readyList = append(u.readyList, seq)
+		for i > 0 && u.readyList[i-1] > seq {
+			u.readyList[i] = u.readyList[i-1]
+			i--
+		}
+		u.readyList[i] = seq
+		return
 	}
+	// The ready time is not posted to the events heap: the idle skipper
+	// consults readyHeap.Min directly, so the wake-up is already
+	// represented without the duplicate heap traffic.
 	c.issue.readyHeap.Push(seqEvent{at: at, seq: seq})
-	if at > c.cycle {
-		c.events.Push(at)
-	}
 }
 
 // issueStage selects ready instructions onto free execution ports, oldest
@@ -77,20 +115,29 @@ func (c *Core) issueStage() {
 		}
 		u.readyList[i] = seq
 	}
+	if len(u.readyList) == 0 {
+		return
+	}
 	issued := 0
+	// free is the bitmask of ports idle this cycle; issuing onto a port
+	// always occupies it past this cycle, so the mask only loses bits
+	// within the loop. Selection picks the lowest free accepting port —
+	// identical to the original first-match index scan.
+	var free uint64
+	for p := range u.ports {
+		if u.ports[p].freeAt <= c.cycle {
+			free |= 1 << p
+		}
+	}
 	for i := 0; i < len(u.readyList); i++ {
 		seq := u.readyList[i]
-		e := &c.window[seq%c.cp]
-		port := -1
-		for p := range u.ports {
-			if u.ports[p].accept.Has(e.op) && u.ports[p].freeAt <= c.cycle {
-				port = p
-				break
-			}
-		}
-		if port < 0 {
+		e := &c.window[seq&c.wmask]
+		m := free & u.groupPorts[e.op]
+		if m == 0 {
 			continue
 		}
+		port := bits.TrailingZeros64(m)
+		free &^= 1 << port
 		if e.op.Pipelined() {
 			u.ports[port].freeAt = c.cycle + 1
 		} else {
@@ -102,17 +149,17 @@ func (c *Core) issueStage() {
 			// Address generation this cycle; line requests from next.
 			e.state = stLoadAGU
 			c.lsq.loadReqQ.Push(loadReq{seq: seq, availableAt: c.cycle + 1})
-			c.events.Push(c.cycle + 1)
+			c.postEvent(c.cycle + 1)
 		case isa.Store:
 			// Address and data captured; the write drains post-commit.
 			e.state = stExec
 			e.resultAt = c.cycle + 1
-			c.events.Push(e.resultAt)
+			c.postEvent(e.resultAt)
 			c.resolveWaiters(e, e.resultAt)
 		default:
 			e.state = stExec
 			e.resultAt = c.cycle + int64(e.op.Latency())
-			c.events.Push(e.resultAt)
+			c.postEvent(e.resultAt)
 			c.resolveWaiters(e, e.resultAt)
 		}
 		u.readyList[i] = -1

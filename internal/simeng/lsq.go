@@ -32,9 +32,15 @@ type storeWrite struct {
 	endAddr   uint64
 }
 
-func (u *lsqUnit) init(cfg Config) {
-	u.loadReqQ = newRing[loadReq](cfg.LoadQueueSize)
-	u.storeWriteQ = newRing[storeWrite](cfg.StoreQueueSize)
+// reset re-initialises the unit for a new run, reusing the queue buffers
+// and the load-completion heap.
+func (u *lsqUnit) reset(cfg Config) {
+	u.loadReqQ.reset(cfg.LoadQueueSize)
+	u.storeWriteQ.reset(cfg.StoreQueueSize)
+	u.loadHeap.reset()
+	u.lqCount, u.sqCount = 0, 0
+	u.loadCredit, u.storeCredit = 0, 0
+	u.lastMemCycle = 0
 }
 
 // memoryStage writes back returned load data, splits pending loads and
@@ -66,7 +72,7 @@ func (c *Core) memoryStage() {
 	// Load writebacks: data that has returned claims LSQ completion slots.
 	for completions > 0 && c.lsq.loadHeap.Len() > 0 && c.lsq.loadHeap.Min().at <= c.cycle {
 		ev := c.lsq.loadHeap.Pop()
-		e := &c.window[ev.seq%c.cp]
+		e := &c.window[ev.seq&c.wmask]
 		e.resultAt = c.cycle
 		e.state = stExec
 		c.resolveWaiters(e, c.cycle)
@@ -81,7 +87,7 @@ func (c *Core) memoryStage() {
 		if lr.availableAt > c.cycle {
 			break
 		}
-		e := &c.window[lr.seq%c.cp]
+		e := &c.window[lr.seq&c.wmask]
 		blocked := false
 		for e.nextLine < e.endAddr {
 			lineStart := e.nextLine &^ (c.lineBytes - 1)
@@ -115,13 +121,15 @@ func (c *Core) memoryStage() {
 			// Budget-blocked with work pending: the budgets refresh next
 			// cycle, so the idle skipper must not jump past it.
 			c.bus.memBWBlocked = true
-			c.events.Push(c.cycle + 1)
+			c.postEvent(c.cycle + 1)
 			break
 		}
+		// memDone is not posted to the events heap: the idle skipper
+		// consults loadHeap.Min directly, so the wake-up is already
+		// represented without the duplicate heap traffic.
 		e.state = stLoadMem
 		c.lsq.loadHeap.Push(seqEvent{at: e.memDone, seq: lr.seq})
-		c.events.Push(e.memDone)
-		c.lsq.loadReqQ.Pop()
+		c.lsq.loadReqQ.Drop()
 		c.progress = true
 	}
 
@@ -154,10 +162,10 @@ func (c *Core) memoryStage() {
 		}
 		if blocked {
 			c.bus.memBWBlocked = true
-			c.events.Push(c.cycle + 1)
+			c.postEvent(c.cycle + 1)
 			break
 		}
-		c.lsq.storeWriteQ.Pop()
+		c.lsq.storeWriteQ.Drop()
 		c.lsq.sqCount--
 		completions--
 		c.progress = true

@@ -10,13 +10,20 @@ type renameUnit struct {
 	physAvail   [isa.NumRegClasses]int
 }
 
-func (u *renameUnit) init(cfg Config) {
+// reset re-initialises the unit for a new run, reusing the per-class
+// producer tables (their sizes are architectural constants).
+func (u *renameUnit) reset(cfg Config) {
 	for cl := 0; cl < isa.NumRegClasses; cl++ {
 		arch := isa.RegClass(cl).ArchRegs()
-		u.regProducer[cl] = make([]int64, arch)
+		if cap(u.regProducer[cl]) >= arch {
+			u.regProducer[cl] = u.regProducer[cl][:arch]
+		} else {
+			u.regProducer[cl] = make([]int64, arch)
+		}
 		for i := range u.regProducer[cl] {
 			u.regProducer[cl][i] = -1
 		}
+		u.inFlight[cl] = 0
 	}
 	u.physAvail[isa.GP] = cfg.GPRegisters - isa.GP.ArchRegs()
 	u.physAvail[isa.FP] = cfg.FPSVERegisters - isa.FP.ArchRegs()
@@ -30,55 +37,81 @@ func (u *renameUnit) init(cfg Config) {
 func (c *Core) renameStage() {
 	u := &c.rename
 	for n := 0; n < c.cfg.FrontendWidth && !c.fetchQ.Empty() && !c.renameQ.Full(); n++ {
-		in := c.fetchQ.Peek()
+		in := *c.fetchQ.Peek()
 		// Check free physical registers for every destination class.
-		var need [isa.NumRegClasses]int
-		for i := 0; i < int(in.NDests); i++ {
-			need[in.Dests[i].Class]++
-		}
-		for cl := 0; cl < isa.NumRegClasses; cl++ {
-			if need[cl] > 0 && u.inFlight[cl]+need[cl] > u.physAvail[cl] {
+		// NDests <= 2, so the per-class tally unrolls to a pair check.
+		switch in.NDests {
+		case 1:
+			cl := in.Dests[0].Class
+			if u.inFlight[cl]+1 > u.physAvail[cl] {
 				c.stats.RenameStalls[cl]++
 				c.bus.renameBlocked = true
 				return
 			}
-		}
-		inst := c.fetchQ.Pop()
-		seq := c.seqRenamed
-		c.seqRenamed++
-		var r renamed
-		r.op = inst.Op
-		r.sve = inst.SVE
-		r.pc = inst.PC
-		r.nd = inst.NDests
-		r.ns = inst.NSrcs
-		if inst.Op.IsMem() {
-			if inst.Mem.Bytes == 0 {
-				c.fail("simeng: zero-byte memory access at pc %#x", inst.PC)
+		case 2:
+			// Preserve the ascending-class attribution order of the old
+			// per-class tally loop.
+			cl0, cl1 := in.Dests[0].Class, in.Dests[1].Class
+			if cl1 < cl0 {
+				cl0, cl1 = cl1, cl0
+			}
+			need0 := 1
+			if cl1 == cl0 {
+				need0 = 2
+			}
+			if u.inFlight[cl0]+need0 > u.physAvail[cl0] {
+				c.stats.RenameStalls[cl0]++
+				c.bus.renameBlocked = true
 				return
 			}
-			r.addr = inst.Mem.Addr
-			r.bytes = inst.Mem.Bytes
+			if cl1 != cl0 && u.inFlight[cl1]+1 > u.physAvail[cl1] {
+				c.stats.RenameStalls[cl1]++
+				c.bus.renameBlocked = true
+				return
+			}
 		}
-		for i := 0; i < int(inst.NSrcs); i++ {
-			s := inst.Srcs[i]
+		seq := c.seqRenamed
+		c.seqRenamed++
+		// Build the record in its queue slot. The slot is dirty (PushSlot
+		// does not zero), so every field a consumer reads is stored:
+		// srcSeq/destClass entries beyond ns/nd are never read, and a
+		// failed build aborts the run before dispatch sees the slot.
+		r := c.renameQ.PushSlot()
+		r.op = in.Op
+		r.sve = in.SVE
+		r.pc = in.PC
+		r.nd = in.NDests
+		r.ns = in.NSrcs
+		if in.Op.IsMem() {
+			if in.Mem.Bytes == 0 {
+				c.fail("simeng: zero-byte memory access at pc %#x", in.PC)
+				return
+			}
+			r.addr = in.Mem.Addr
+			r.bytes = in.Mem.Bytes
+		} else {
+			r.addr = 0
+			r.bytes = 0
+		}
+		for i := 0; i < int(in.NSrcs); i++ {
+			s := in.Srcs[i]
 			if int(s.ID) >= len(u.regProducer[s.Class]) {
-				c.fail("simeng: source register %v out of architectural range at pc %#x", s, inst.PC)
+				c.fail("simeng: source register %v out of architectural range at pc %#x", s, in.PC)
 				return
 			}
 			r.srcSeq[i] = u.regProducer[s.Class][s.ID]
 		}
-		for i := 0; i < int(inst.NDests); i++ {
-			d := inst.Dests[i]
+		for i := 0; i < int(in.NDests); i++ {
+			d := in.Dests[i]
 			if int(d.ID) >= len(u.regProducer[d.Class]) {
-				c.fail("simeng: destination register %v out of architectural range at pc %#x", d, inst.PC)
+				c.fail("simeng: destination register %v out of architectural range at pc %#x", d, in.PC)
 				return
 			}
 			u.regProducer[d.Class][d.ID] = seq
 			r.destClass[i] = uint8(d.Class)
 			u.inFlight[d.Class]++
 		}
-		c.renameQ.Push(r)
+		c.fetchQ.Drop()
 		c.progress = true
 	}
 }

@@ -143,7 +143,7 @@ func (c *Core) classifyCycle() StallClass {
 	// downstream of it: the structures behind a memory-bound head fill as
 	// a symptom, not a cause, so the cycle is memory's whichever queue
 	// happened to clog first.
-	head := &c.window[c.seqCommitted%c.cp]
+	head := &c.window[c.seqCommitted&c.wmask]
 	if head.state == stLoadAGU || head.state == stLoadMem {
 		if b.memBWBlocked {
 			return StallMemBandwidth

@@ -9,6 +9,7 @@ func benchHierarchy(b *testing.B, fidelity Fidelity) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	now := int64(0)
 	for i := 0; i < b.N; i++ {
@@ -26,6 +27,7 @@ func BenchmarkCacheLookup(b *testing.B) {
 	for a := 0; a < 32<<10; a += 64 {
 		c.fill(uint64(a), false)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.lookup(uint64(i%512)*64, false)

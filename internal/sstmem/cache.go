@@ -24,6 +24,15 @@ type way struct {
 // Degenerate geometries (capacity < assoc lines) collapse to a single set of
 // fewer ways rather than failing: the parameter sampler can produce tiny L1s.
 func newCache(capacity, assoc, lineBytes int) *cache {
+	c := &cache{}
+	c.reset(capacity, assoc, lineBytes)
+	return c
+}
+
+// reset re-sizes the cache in place for a new geometry and invalidates every
+// line, reusing the ways array whenever its capacity suffices so a pooled
+// hierarchy allocates nothing across same-or-smaller geometries.
+func (c *cache) reset(capacity, assoc, lineBytes int) {
 	lines := capacity / lineBytes
 	if lines < 1 {
 		lines = 1
@@ -43,11 +52,16 @@ func newCache(capacity, assoc, lineBytes int) *cache {
 	for 1<<shift < lineBytes {
 		shift++
 	}
-	return &cache{
-		sets:      sets,
-		assoc:     assoc,
-		lineShift: shift,
-		ways:      make([]way, sets*assoc),
+	c.sets = sets
+	c.assoc = assoc
+	c.lineShift = shift
+	c.clock = 0
+	n := sets * assoc
+	if cap(c.ways) >= n {
+		c.ways = c.ways[:n]
+		clear(c.ways)
+	} else {
+		c.ways = make([]way, n)
 	}
 }
 

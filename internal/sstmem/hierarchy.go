@@ -8,38 +8,18 @@ import "armdse/internal/memstats"
 // backend produced them.
 type Stats = memstats.Counters
 
-// lineState tracks an in-flight fill: lines are inserted at miss time with a
-// readyAt cycle, so later requests to the same line coalesce onto the fill
-// instead of issuing duplicate RAM traffic (the MSHR secondary-miss path).
-type lineState struct {
-	readyAt map[uint64]int64
-}
-
-func newLineState() *lineState { return &lineState{readyAt: make(map[uint64]int64)} }
-
-func (ls *lineState) set(line uint64, t int64) { ls.readyAt[line] = t }
-
-func (ls *lineState) get(line uint64, now int64) int64 {
-	t, ok := ls.readyAt[line]
-	if !ok {
-		return now
-	}
-	if t <= now {
-		delete(ls.readyAt, line)
-		return now
-	}
-	return t
-}
-
 // Hierarchy is the L1D→L2→RAM memory system. It is single-consumer: the
 // core's LSQ issues line-sized requests in non-decreasing cycle order and
-// receives the completion cycle of each.
+// receives the completion cycle of each. A Hierarchy can be rebuilt in
+// place for a new configuration with Reset, retaining all backing arrays
+// (cache ways, line tables, MSHRs, bank state) — a pooled hierarchy
+// allocates nothing per run at steady state.
 type Hierarchy struct {
 	cfg Config
 
-	l1, l2  *cache
-	l1Ready *lineState
-	l2Ready *lineState
+	l1, l2  cache
+	l1Ready lineTable
+	l2Ready lineTable
 
 	l1Lat, l2Lat, ramLat int64
 	// ramInterval is the core-cycle spacing between RAM request starts:
@@ -90,30 +70,59 @@ type strideEntry struct {
 
 // New builds a hierarchy from cfg.
 func New(cfg Config) (*Hierarchy, error) {
+	h := &Hierarchy{}
+	if err := h.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Reset rebuilds the hierarchy in place for a new run on cfg, exactly as if
+// it had been built with New — but retaining every backing array (cache
+// way tables, line-state tables, MSHR slots, bank and prefetcher state) so
+// a pooled hierarchy allocates nothing per run at steady state. The
+// pooled-vs-fresh differential tests pin that a run after Reset is
+// byte-identical to the same run on a fresh hierarchy.
+func (h *Hierarchy) Reset(cfg Config) error {
 	if cfg.CoreClockGHz == 0 {
 		cfg.CoreClockGHz = DefaultCoreClockGHz
 	}
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return err
 	}
-	h := &Hierarchy{
-		cfg:         cfg,
-		l1:          newCache(cfg.L1DSize, cfg.L1DAssoc, cfg.CacheLineWidth),
-		l2:          newCache(cfg.L2Size, cfg.L2Assoc, cfg.CacheLineWidth),
-		l1Ready:     newLineState(),
-		l2Ready:     newLineState(),
-		l1Lat:       cfg.l1LatencyCore(),
-		l2Lat:       cfg.l2LatencyCore(),
-		ramLat:      cfg.ramLatencyCore(),
-		ramInterval: ramRefBytes / cfg.ramBytesPerCycle(),
-		mshrs:       make([]int64, cfg.L1DMSHRs),
+	h.cfg = cfg
+	h.l1.reset(cfg.L1DSize, cfg.L1DAssoc, cfg.CacheLineWidth)
+	h.l2.reset(cfg.L2Size, cfg.L2Assoc, cfg.CacheLineWidth)
+	h.l1Ready.reset()
+	h.l2Ready.reset()
+	h.l1Lat = cfg.l1LatencyCore()
+	h.l2Lat = cfg.l2LatencyCore()
+	h.ramLat = cfg.ramLatencyCore()
+	h.ramInterval = ramRefBytes / cfg.ramBytesPerCycle()
+	h.ramFree = 0
+	if cap(h.mshrs) >= cfg.L1DMSHRs {
+		h.mshrs = h.mshrs[:cfg.L1DMSHRs]
+		clear(h.mshrs)
+	} else {
+		h.mshrs = make([]int64, cfg.L1DMSHRs)
 	}
 	if cfg.Fidelity == High {
-		h.banks = make([]int64, highFidelityBanks)
-		h.openRows = make([]uint64, dramBanks)
-		h.openValid = make([]bool, dramBanks)
+		// The High-fidelity arrays have fixed sizes; once allocated they
+		// are retained (and cleared) across resets, whatever fidelity the
+		// intervening runs used.
+		if h.banks == nil {
+			h.banks = make([]int64, highFidelityBanks)
+			h.openRows = make([]uint64, dramBanks)
+			h.openValid = make([]bool, dramBanks)
+		} else {
+			clear(h.banks)
+			clear(h.openRows)
+			clear(h.openValid)
+		}
 	}
-	return h, nil
+	h.streams = [strideStreams]strideEntry{}
+	h.stats = Stats{}
+	return nil
 }
 
 // Config returns the hierarchy's configuration.

@@ -1,0 +1,138 @@
+package sstmem
+
+// lineTable maps line address → fill-ready cycle for in-flight fills: lines
+// are inserted at miss time with a readyAt cycle, so later requests to the
+// same line coalesce onto the fill instead of issuing duplicate RAM traffic
+// (the MSHR secondary-miss path).
+//
+// It replaces the former map[uint64]int64 — the hottest memory-side
+// structure, touched on every hit under a fill and every fill — with a
+// packed open-addressing table (linear probing, Fibonacci hashing) over a
+// flat slot array. Three properties keep it cheap on the run hot path:
+//
+//   - Each slot packs key, value and epoch tag into 24 contiguous bytes, so
+//     a probe touches one cache line where parallel key/value/tag arrays
+//     would touch three.
+//   - Expired entries are never deleted. A stored readyAt <= now is
+//     semantically absent (get returns now, exactly as the map did after
+//     deleting), so lookups just compare; slots are reclaimed wholesale at
+//     reset. The table therefore grows to the number of distinct lines
+//     filled in a run — bounded by the workload footprint — not to the
+//     fill count.
+//   - reset is an epoch bump: each slot is tagged with the epoch that wrote
+//     it, and bumping the table's epoch invalidates every slot in O(1)
+//     without clearing. A pooled Hierarchy reuses the array across runs,
+//     re-zeroing nothing. (On the ~never uint32 wrap the tags are cleared
+//     once for real.)
+type lineTable struct {
+	slots []lineSlot
+	epoch uint32
+	mask  uint64
+	used  int
+}
+
+// lineSlot is one packed table slot; tag == table epoch marks it occupied.
+type lineSlot struct {
+	key uint64
+	val int64
+	tag uint32
+	_   uint32
+}
+
+// lineTableMinSize is the initial slot count (a power of two).
+const lineTableMinSize = 1024
+
+// hashLine mixes a line address into a table index distribution
+// (Fibonacci hashing: multiply by 2^64/φ, then fold the high bits down).
+// Line addresses are sequential in streaming workloads, so the multiply
+// spreads consecutive lines across the table.
+func hashLine(line uint64) uint64 {
+	x := line * 0x9E3779B97F4A7C15
+	return x ^ (x >> 29)
+}
+
+// init allocates the table at n slots (a power of two).
+func (t *lineTable) init(n int) {
+	t.slots = make([]lineSlot, n)
+	t.mask = uint64(n - 1)
+	t.epoch = 1
+	t.used = 0
+}
+
+// reset invalidates every entry in O(1), retaining the array.
+func (t *lineTable) reset() {
+	if t.slots == nil {
+		t.init(lineTableMinSize)
+		return
+	}
+	t.epoch++
+	if t.epoch == 0 { // uint32 wrap: clear for real, once per ~4G resets
+		for i := range t.slots {
+			t.slots[i].tag = 0
+		}
+		t.epoch = 1
+	}
+	t.used = 0
+}
+
+// set records that the line's fill completes at cycle v, overwriting any
+// previous fill time for the same line.
+func (t *lineTable) set(line uint64, v int64) {
+	if t.used*4 >= len(t.slots)*3 {
+		t.grow()
+	}
+	i := hashLine(line) & t.mask
+	for {
+		s := &t.slots[i]
+		if s.tag != t.epoch {
+			s.key = line
+			s.val = v
+			s.tag = t.epoch
+			t.used++
+			return
+		}
+		if s.key == line {
+			s.val = v
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// get returns the cycle the line's data is available given the current
+// cycle now: the recorded fill time while it is still in the future, else
+// now (absent and expired entries are equivalent).
+func (t *lineTable) get(line uint64, now int64) int64 {
+	i := hashLine(line) & t.mask
+	for {
+		s := &t.slots[i]
+		if s.tag != t.epoch {
+			return now
+		}
+		if s.key == line {
+			if s.val > now {
+				return s.val
+			}
+			return now
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// grow rehashes live entries into a table twice the size.
+func (t *lineTable) grow() {
+	old := t.slots
+	oldEpoch := t.epoch
+	t.init(len(old) * 2)
+	for i := range old {
+		if old[i].tag != oldEpoch {
+			continue
+		}
+		j := hashLine(old[i].key) & t.mask
+		for t.slots[j].tag == t.epoch {
+			j = (j + 1) & t.mask
+		}
+		t.slots[j] = lineSlot{key: old[i].key, val: old[i].val, tag: t.epoch}
+		t.used++
+	}
+}

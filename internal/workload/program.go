@@ -96,6 +96,39 @@ func (p *Program) DynamicInsts() int64 {
 // Stream returns a fresh instruction stream over the program.
 func (p *Program) Stream() isa.Stream { return &progStream{prog: p} }
 
+// DefaultMaterializeLimit is the largest dynamic instruction count Materialize
+// will expand by default: ~88 MB of arena at 88 bytes per instruction. The
+// full paper-scale programs (tens of millions of instructions) stay on the
+// lazy stream; the collection-sweep programs fit comfortably.
+const DefaultMaterializeLimit = 1 << 20
+
+// Materialize expands the program's full dynamic trace into a flat
+// instruction slice, or returns nil if the trace exceeds limit instructions
+// (limit <= 0 means DefaultMaterializeLimit).
+//
+// The returned arena is READ-ONLY by contract: it is built once per
+// (program, vector-length) and then shared by every configuration's run
+// concurrently, each replaying it through its own isa.SliceStream cursor.
+// Callers must never mutate the returned slice or hand it to anything that
+// does. The trace is byte-identical to what Stream produces — the
+// pooled-vs-fresh differential tests pin that.
+func (p *Program) Materialize(limit int64) []isa.Inst {
+	if limit <= 0 {
+		limit = DefaultMaterializeLimit
+	}
+	n := p.DynamicInsts()
+	if n > limit {
+		return nil
+	}
+	out := make([]isa.Inst, 0, n)
+	s := progStream{prog: p}
+	var in isa.Inst
+	for s.Next(&in) {
+		out = append(out, in)
+	}
+	return out
+}
+
 // progStream lazily expands a Program into dynamic instructions.
 type progStream struct {
 	prog *Program

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# bench.sh — run the simulation-engine benchmarks and emit a machine-readable
+# BENCH_simeng.json with ns/op, B/op and allocs/op per benchmark.
+#
+# Usage:
+#   scripts/bench.sh                 # full run, writes BENCH_simeng.json
+#   BENCHTIME=1x scripts/bench.sh    # CI smoke run
+#   OUT=/tmp/b.json scripts/bench.sh
+#
+# Optionally records an end-to-end collection-sweep measurement (taken
+# externally, e.g. by timing `dsegen -samples 200` before and after a
+# change) when SWEEP_BASE_MS and SWEEP_NEW_MS are set:
+#   SWEEP_BASE_MS=16500 SWEEP_NEW_MS=10900 SWEEP_DESC="..." scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-5x}"
+OUT="${OUT:-BENCH_simeng.json}"
+PKGS=(./internal/simeng ./internal/sstmem ./internal/orchestrate)
+
+raw=$(go test -run '^$' -bench . -benchtime "$BENCHTIME" "${PKGS[@]}")
+
+{
+	printf '{\n'
+	printf '  "benchtime": "%s",\n' "$BENCHTIME"
+	if [[ -n "${SWEEP_BASE_MS:-}" && -n "${SWEEP_NEW_MS:-}" ]]; then
+		printf '  "sweep": {\n'
+		printf '    "description": "%s",\n' "${SWEEP_DESC:-dsegen end-to-end collection sweep}"
+		printf '    "base_ms": %s,\n' "$SWEEP_BASE_MS"
+		printf '    "new_ms": %s,\n' "$SWEEP_NEW_MS"
+		awk -v b="$SWEEP_BASE_MS" -v n="$SWEEP_NEW_MS" \
+			'BEGIN { printf("    \"speedup\": %.2f\n", b / n) }'
+		printf '  },\n'
+	fi
+	printf '  "benchmarks": [\n'
+	# Benchmark lines look like:
+	#   BenchmarkX-8  N  123 ns/op  4.5 MIPS  100 B/op  3 allocs/op
+	# (the -CPUs suffix is absent when GOMAXPROCS=1, and the extra metrics
+	# vary per benchmark) — walk the value/unit pairs and keep the three
+	# standard ones.
+	awk '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		ns = "null"; bytes = "null"; allocs = "null"
+		for (i = 3; i < NF; i += 2) {
+			if ($(i+1) == "ns/op") ns = $i
+			else if ($(i+1) == "B/op") bytes = $i
+			else if ($(i+1) == "allocs/op") allocs = $i
+		}
+		if (n++) printf(",\n")
+		printf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs)
+	}
+	END { printf("\n") }' <<<"$raw"
+	printf '  ]\n'
+	printf '}\n'
+} >"$OUT"
+
+echo "wrote $OUT"
