@@ -26,9 +26,11 @@ package armdse
 
 import (
 	"context"
+	"net/http"
 
 	"armdse/internal/dataset"
 	"armdse/internal/dtree"
+	"armdse/internal/obs"
 	"armdse/internal/orchestrate"
 	"armdse/internal/params"
 	"armdse/internal/simeng"
@@ -273,6 +275,52 @@ func CompactStream(path string) (*Dataset, int, error) {
 // NewStreamSink adapts a journal writer to the collection engine's sink
 // interface.
 func NewStreamSink(w *StreamWriter) RowSink { return orchestrate.StreamSink{W: w} }
+
+// Telemetry layer types; see internal/obs for the metrics core and
+// internal/orchestrate.Telemetry for the engine-facing hub.
+type (
+	// Telemetry is the collection engine's observability hub: sharded
+	// metrics, sweep status, and the structured JSONL run journal. Pass it
+	// through CollectOptions.Telemetry; recording is allocation-free and
+	// never perturbs dataset output.
+	Telemetry = orchestrate.Telemetry
+	// SweepStatus is the live status view of a running collection — the
+	// monitor endpoint's JSON payload.
+	SweepStatus = orchestrate.SweepStatus
+	// MetricsRegistry holds sharded counters, gauges and histograms with
+	// deterministic snapshot, Prometheus text and JSON encoders.
+	MetricsRegistry = obs.Registry
+	// RunJournal is a flush-per-line JSONL log, tail-able during a sweep.
+	RunJournal = obs.Journal
+)
+
+// NewMetricsRegistry builds a metrics registry whose sharded metrics carry at
+// least the given number of shards (rounded up to a power of two). Pass the
+// collection's worker count so each worker records into a private slot.
+func NewMetricsRegistry(shards int) *MetricsRegistry { return obs.NewRegistry(shards) }
+
+// CreateRunJournal creates (truncating) a structured JSONL run journal.
+func CreateRunJournal(path string) (*RunJournal, error) { return obs.CreateJournal(path) }
+
+// NewTelemetry wires a telemetry hub over an optional metrics registry and an
+// optional run journal (either may be nil; a nil hub is also valid
+// everywhere one is accepted).
+func NewTelemetry(reg *MetricsRegistry, journal *RunJournal) *Telemetry {
+	return orchestrate.NewTelemetry(reg, journal)
+}
+
+// TelemetryHandler builds the monitor HTTP handler: /metrics (Prometheus
+// text), /status (the status function's JSON, e.g. Telemetry.StatusAny),
+// /debug/vars (snapshot JSON) and /debug/pprof.
+func TelemetryHandler(reg *MetricsRegistry, status func() any) http.Handler {
+	return obs.Handler(reg, status)
+}
+
+// ServeTelemetry binds addr and serves the handler in the background,
+// returning the server and the resolved bound address (":0" picks a port).
+func ServeTelemetry(addr string, h http.Handler) (*http.Server, string, error) {
+	return obs.Serve(addr, h)
+}
 
 // SuiteNames returns the application names of a workload suite — the
 // target columns of a collection over it.

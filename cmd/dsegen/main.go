@@ -11,11 +11,21 @@
 // per shard, same seed everywhere): the shards partition the same index
 // space, so their union equals the unsharded run.
 //
+// A run is observable while it executes: a structured JSONL run journal
+// (-runlog, default <out>.runlog.jsonl) records one line per configuration
+// plus heartbeats, and -http serves a live monitor — Prometheus /metrics,
+// JSON /status (ETA, rows/sec, per-worker progress, slowest configs),
+// /debug/vars and /debug/pprof. Profiling is available without the server
+// through -cpuprofile/-memprofile. All of it is purely observational: the
+// output CSV is byte-identical with every telemetry feature enabled.
+//
 // Usage:
 //
 //	dsegen -samples 2000 -seed 1 -out dataset.csv [-workers 16] [-paper]
 //	dsegen -samples 2000 -seed 1 -out dataset.csv -resume
 //	dsegen -samples 180006 -seed 1 -out shard3.csv -shard 3/8
+//	dsegen -samples 2000 -seed 1 -out dataset.csv -http :8080
+//	dsegen -samples 2000 -seed 1 -out dataset.csv -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 package main
 
 import (
@@ -110,9 +120,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		paper   = fs.Bool("paper", false, "use the paper's Table IV inputs (1-5 minute runs each, as in the study)")
 		resume  = fs.Bool("resume", false, "resume an interrupted run from <out>.journal, skipping completed configs")
 		shard   = fs.String("shard", "", "collect only shard i/n of the index space (e.g. 3/8); union of shards = full run")
-		quiet   = fs.Bool("q", false, "suppress progress output")
-		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = fs.String("memprofile", "", "write an allocation profile to this file at exit")
+		quiet    = fs.Bool("q", false, "suppress progress output")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write an allocation profile to this file at exit")
+		httpAddr = fs.String("http", "", "serve the live monitor (/metrics, /status, /debug/vars, /debug/pprof) on this address, e.g. :8080")
+		linger   = fs.Duration("http-linger", 0, "keep the -http server up this long after the sweep finishes (for scrapers; interrupt exits early)")
+		runlog   = fs.String("runlog", "", "structured JSONL run journal path (default <out>.runlog.jsonl; \"none\" disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -174,6 +187,51 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "resuming: %d configs already journaled\n", len(skip))
 	}
 
+	// Telemetry: a JSONL run journal next to the dataset (default on) and an
+	// optional live monitor server. Both are purely observational — the CSV
+	// is byte-identical with them enabled.
+	runlogPath := *runlog
+	if runlogPath == "" {
+		runlogPath = *out + ".runlog.jsonl"
+	}
+	if runlogPath == "none" || runlogPath == "off" {
+		runlogPath = ""
+	}
+	resolvedWorkers := *workers
+	if resolvedWorkers <= 0 {
+		resolvedWorkers = runtime.GOMAXPROCS(0)
+	}
+	var tel *armdse.Telemetry
+	var rj *armdse.RunJournal
+	if *httpAddr != "" || runlogPath != "" {
+		reg := armdse.NewMetricsRegistry(resolvedWorkers)
+		if runlogPath != "" {
+			rj, err = armdse.CreateRunJournal(runlogPath)
+			if err != nil {
+				return err
+			}
+			defer func() {
+				if rj != nil {
+					rj.Close()
+				}
+			}()
+		}
+		tel = armdse.NewTelemetry(reg, rj)
+		if *httpAddr != "" {
+			srv, bound, err := armdse.ServeTelemetry(*httpAddr, armdse.TelemetryHandler(reg, tel.StatusAny))
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			// Printed even under -q: with ":0" the bound port is only
+			// discoverable from this line.
+			fmt.Fprintf(stderr, "monitor: http://%s/\n", bound)
+		}
+	}
+	if err := tel.JournalMeta(*seed, *samples, resolvedWorkers, shardIndex, shardCount, apps); err != nil {
+		return err
+	}
+
 	start := time.Now()
 	opt := armdse.CollectOptions{
 		Seed:       *seed,
@@ -185,13 +243,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Skip:       func(i int) bool { return skip[i] },
 		ShardIndex: shardIndex,
 		ShardCount: shardCount,
+		Telemetry:  tel,
 	}
 	if !*quiet {
 		opt.Progress = func(ev armdse.ProgressEvent) {
 			if ev.Done%50 == 0 || ev.Done == ev.Total {
-				eta := time.Duration(float64(ev.Total-ev.Done)/ev.RowsPerSec) * time.Second
 				fmt.Fprintf(stderr, "\r%d/%d configs (%.1f/s, %d failed, %.3g cycles, eta %s)   ",
-					ev.Done, ev.Total, ev.RowsPerSec, ev.Failed, float64(ev.Cycles), eta.Round(time.Second))
+					ev.Done, ev.Total, ev.RowsPerSec, ev.Failed, float64(ev.Cycles), ev.ETA.Round(time.Second))
 			}
 		}
 	}
@@ -224,6 +282,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err := os.Remove(journal); err != nil {
 		return err
 	}
+	if err := tel.JournalSummary(data.Len(), failed, time.Since(start)); err != nil {
+		return err
+	}
+	if rj != nil {
+		err := rj.Close()
+		rj = nil
+		if err != nil {
+			return err
+		}
+	}
 	shardNote := ""
 	if *shard != "" {
 		shardNote = fmt.Sprintf(" [shard %s]", strings.TrimSpace(*shard))
@@ -231,5 +299,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "wrote %s: %d rows x %d features (+%d app targets), %d failed configs, %s%s\n",
 		*out, data.Len(), data.NumFeatures(), len(data.Apps), failed,
 		time.Since(start).Round(time.Second), shardNote)
+	if *httpAddr != "" && *linger > 0 {
+		if !*quiet {
+			fmt.Fprintf(stderr, "monitor lingering %s (interrupt to exit)\n", *linger)
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(*linger):
+		}
+	}
 	return nil
 }

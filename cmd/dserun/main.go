@@ -2,10 +2,16 @@
 // the run statistics — the single-run entry point of the toolkit, equivalent
 // to invoking SimEng once in the paper's workflow.
 //
+// For performance work the run can be profiled offline with
+// -cpuprofile/-memprofile, or inspected live with -http, which serves the
+// standard /debug/pprof endpoints (plus /metrics and /debug/vars) while the
+// simulation runs — useful with -paper runs that take minutes.
+//
 // Usage:
 //
 //	dserun [-app STREAM] [-config cfg.json] [-vl 512] [-paper] [-mem sst] [-hw] [-v]
 //	dserun -dump-baseline tx2.json
+//	dserun -app TeaLeaf -paper -http :8080 -cpuprofile cpu.pb.gz
 package main
 
 import (
@@ -80,9 +86,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		dumpBase = fs.String("dump-baseline", "", "write the ThunderX2 baseline config to this path and exit")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write an allocation profile to this file at exit")
+		httpAddr = fs.String("http", "", "serve /debug/pprof (and /metrics, /debug/vars) on this address while the run executes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *httpAddr != "" {
+		srv, bound, err := armdse.ServeTelemetry(*httpAddr, armdse.TelemetryHandler(armdse.NewMetricsRegistry(1), nil))
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "monitor: http://%s/debug/pprof/\n", bound)
 	}
 	if *cpuProf != "" || *memProf != "" {
 		stopProf, err := profileTo(*cpuProf, *memProf)

@@ -1,11 +1,18 @@
 // Command dsetrace prints a cycle-accurate pipeline trace of a workload's
-// first instructions on a given configuration — dispatch, completion and
-// commit cycles per retired instruction, plus a per-group latency summary.
-// It is the debugging window into the core model.
+// first instructions on a given configuration — dispatch, issue, completion
+// and commit cycles per retired instruction, plus a per-group latency
+// summary. It is the debugging window into the core model.
+//
+// With -format trace it instead exports the run as a Chrome trace-event JSON
+// file (load it in ui.perfetto.dev or chrome://tracing): per-instruction
+// lifetime slices packed onto overlap-free lanes, plus one timeline track
+// per stall class carrying the engine's per-cycle attribution. One simulated
+// cycle maps to 1us of trace time.
 //
 // Usage:
 //
 //	dsetrace [-app STREAM] [-config cfg.json] [-vl 512] [-n 40]
+//	dsetrace -app miniBUDE -format trace -out trace.json
 package main
 
 import (
@@ -34,10 +41,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 		app     = fs.String("app", "STREAM", "application: STREAM, miniBUDE, TeaLeaf, MiniSweep")
 		cfgPath = fs.String("config", "", "JSON configuration file (default: ThunderX2 baseline)")
 		vl      = fs.Int("vl", 0, "override SVE vector length in bits")
-		n       = fs.Int("n", 40, "number of retired instructions to print")
+		n       = fs.Int("n", 40, "number of retired instructions to print (text format)")
+		format  = fs.String("format", "text", "output format: text, or trace (Chrome trace-event JSON for Perfetto)")
+		outPath = fs.String("out", "", "write output to this file instead of stdout")
+		limit   = fs.Int("limit", 100000, "trace format: maximum instructions exported (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *format != "text" && *format != "trace" {
+		return fmt.Errorf("unknown -format %q, want text or trace", *format)
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		stdout = f
 	}
 
 	cfg := armdse.ThunderX2()
@@ -76,8 +97,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintf(stdout, "%-6s %-10s %-9s %5s %10s %10s %10s %8s\n",
-		"seq", "pc", "op", "sve", "dispatch", "done", "commit", "latency")
+	if *format == "trace" {
+		var events []simeng.TraceEvent
+		truncated := false
+		core.SetTracer(func(ev simeng.TraceEvent) {
+			if *limit > 0 && len(events) >= *limit {
+				truncated = true
+				return
+			}
+			events = append(events, ev)
+		})
+		var sc stallCollector
+		core.SetStallTracer(sc.record)
+		st, err := core.Run(prog.Stream())
+		if err != nil {
+			return err
+		}
+		if truncated {
+			fmt.Fprintf(stderr, "trace truncated to the first %d of %d instructions (-limit)\n", *limit, st.Retired)
+		}
+		if err := writeChromeTrace(stdout, events, sc.intervals); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "traced %d instructions and %d stall intervals over %d cycles\n",
+			len(events), len(sc.intervals), st.Cycles)
+		return nil
+	}
+
+	fmt.Fprintf(stdout, "%-6s %-10s %-9s %5s %10s %10s %10s %10s %8s\n",
+		"seq", "pc", "op", "sve", "dispatch", "issue", "done", "commit", "latency")
 	printed := 0
 	type agg struct {
 		count int64
@@ -91,8 +139,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if ev.SVE {
 				sve = "sve"
 			}
-			fmt.Fprintf(stdout, "%-6d %#-10x %-9s %5s %10d %10d %10d %8d\n",
-				ev.Seq, ev.PC, ev.Op, sve, ev.Dispatched, ev.Done, ev.Committed, lat)
+			fmt.Fprintf(stdout, "%-6d %#-10x %-9s %5s %10d %10d %10d %10d %8d\n",
+				ev.Seq, ev.PC, ev.Op, sve, ev.Dispatched, ev.Issued, ev.Done, ev.Committed, lat)
 			printed++
 		}
 		g := byGroup[ev.Op.String()]

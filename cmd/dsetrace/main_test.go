@@ -2,6 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -42,6 +46,105 @@ func TestTraceVLOverride(t *testing.T) {
 	}
 }
 
+// TestChromeTraceRoundTrip runs -format trace and checks the output is a
+// well-formed Chrome trace: it parses, instruction slices never overlap
+// within a lane, stall intervals tile the run, and every lifetime stamp is
+// ordered dispatch <= issue <= done <= commit.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-app", "miniBUDE", "-format", "trace", "-out", path}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	laneEnd := map[[2]int]int64{} // (pid, tid) -> end of last slice
+	var instr, dropped, stallCycles int64
+	classes := map[string]bool{}
+	for _, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "dropped_instructions" {
+				dropped = int64(ev.Args["dropped"].(float64))
+			}
+			continue
+		case "X":
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+		if ev.Dur <= 0 {
+			t.Fatalf("non-positive duration: %+v", ev)
+		}
+		key := [2]int{ev.Pid, ev.Tid}
+		if ev.Ts < laneEnd[key] {
+			t.Fatalf("overlapping slices on pid %d tid %d at ts %d", ev.Pid, ev.Tid, ev.Ts)
+		}
+		laneEnd[key] = ev.Ts + ev.Dur
+		switch ev.Pid {
+		case pidInstructions:
+			instr++
+			d := int64(ev.Args["dispatched"].(float64))
+			i := int64(ev.Args["issued"].(float64))
+			dn := int64(ev.Args["done"].(float64))
+			c := int64(ev.Args["committed"].(float64))
+			if !(d <= i && i <= dn && dn <= c) {
+				t.Fatalf("lifetime out of order: dispatch %d issue %d done %d commit %d", d, i, dn, c)
+			}
+		case pidStalls:
+			stallCycles += ev.Dur
+			classes[ev.Name] = true
+		}
+	}
+	if instr == 0 || stallCycles == 0 {
+		t.Fatalf("instr events %d, stall cycles %d", instr, stallCycles)
+	}
+	// The stall tracks tile the whole run, so their total duration equals the
+	// run's cycle count — which the text format reports independently.
+	var text bytes.Buffer
+	if err := run([]string{"-app", "miniBUDE", "-n", "0"}, &text, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	var retired, cycles int64
+	var ipc float64
+	if _, err := fmt.Sscanf(firstLineContaining(t, text.String(), "total:"),
+		"total: %d instructions in %d cycles (IPC %f)", &retired, &cycles, &ipc); err != nil {
+		t.Fatal(err)
+	}
+	if stallCycles != cycles {
+		t.Errorf("stall tracks cover %d cycles, run took %d", stallCycles, cycles)
+	}
+	if instr+dropped != retired {
+		t.Errorf("trace has %d instructions (+%d dropped), run retired %d", instr, dropped, retired)
+	}
+	if dropped != 0 {
+		t.Errorf("baseline ROB fits in maxLanes, yet %d instructions dropped", dropped)
+	}
+	if !classes["busy"] {
+		t.Errorf("no busy track in %v", classes)
+	}
+}
+
+func firstLineContaining(t *testing.T, s, frag string) string {
+	t.Helper()
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, frag) {
+			return l
+		}
+	}
+	t.Fatalf("no line containing %q", frag)
+	return ""
+}
+
 func TestTraceErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-app", "nope"}, &buf, &buf); err == nil {
@@ -52,5 +155,8 @@ func TestTraceErrors(t *testing.T) {
 	}
 	if err := run([]string{"-vl", "99"}, &buf, &buf); err == nil {
 		t.Error("invalid VL accepted")
+	}
+	if err := run([]string{"-format", "xml"}, &buf, &buf); err == nil {
+		t.Error("unknown format accepted")
 	}
 }

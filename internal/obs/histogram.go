@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumHistBuckets is the fixed bucket count of every histogram: bucket 0
+// holds non-positive values, bucket k (1..62) holds values in
+// [2^(k-1), 2^k), and the final bucket holds everything from 2^62 up —
+// the +Inf bucket of the Prometheus exposition. Power-of-two bucketing
+// turns Observe into one bits.Len64, which keeps the hot path at three
+// atomic adds with no float math.
+const NumHistBuckets = 64
+
+// hshard is one histogram shard: per-bucket counts plus count/sum, owned by
+// one worker on the hot path and only read across workers at snapshot time.
+type hshard struct {
+	buckets [NumHistBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Histogram is a sharded log-bucketed distribution of int64 observations
+// (typically nanoseconds or cycles).
+type Histogram struct {
+	sh   []hshard
+	mask int
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	k := bits.Len64(uint64(v))
+	if k >= NumHistBuckets {
+		return NumHistBuckets - 1
+	}
+	return k
+}
+
+// BucketUpperBound returns bucket i's inclusive upper bound: 0 for bucket 0,
+// 2^i - 1 for the middle buckets, and +Inf for the final bucket. These are
+// the `le` values of the Prometheus exposition.
+func BucketUpperBound(i int) float64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= NumHistBuckets-1:
+		return math.Inf(1)
+	default:
+		return float64(uint64(1)<<i - 1)
+	}
+}
+
+// Observe records v into the shard's slot. Nil-safe no-op.
+func (h *Histogram) Observe(shard int, v int64) {
+	if h == nil {
+		return
+	}
+	s := &h.sh[shard&h.mask]
+	s.buckets[bucketOf(v)].Add(1)
+	s.count.Add(1)
+	s.sum.Add(v)
+}
+
+// Count returns the total number of observations across shards.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var t int64
+	for i := range h.sh {
+		t += h.sh[i].count.Load()
+	}
+	return t
+}
+
+// Sum returns the sum of all observations across shards.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	var t int64
+	for i := range h.sh {
+		t += h.sh[i].sum.Load()
+	}
+	return t
+}
+
+// Span is an in-flight timing measurement: Start captures the clock, End
+// observes the elapsed nanoseconds into the histogram. The pair is two
+// time.Now calls and one Observe — cheap enough for per-run engine stages.
+type Span struct {
+	h     *Histogram
+	t0    time.Time
+	shard int
+}
+
+// Start opens a span that will record into the histogram's shard slot.
+// Nil-safe: a span on a nil histogram still times but records nothing.
+func (h *Histogram) Start(shard int) Span {
+	return Span{h: h, t0: time.Now(), shard: shard}
+}
+
+// End records the span's elapsed nanoseconds.
+func (s Span) End() {
+	s.h.Observe(s.shard, time.Since(s.t0).Nanoseconds())
+}
+
+// floatBits/floatFromBits wrap math for the gauge's atomic float storage.
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler builds the telemetry HTTP mux:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/status       JSON of the caller's status function (sweep ETA, per-shard
+//	              progress, slowest configs — whatever the caller exposes)
+//	/debug/vars   full registry snapshot as JSON
+//	/debug/pprof  the standard net/http/pprof profiling endpoints
+//
+// status may be nil, in which case /status answers 404. The handler is
+// read-only: nothing served here mutates the registry.
+func Handler(reg *Registry, status func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		if status == nil {
+			http.NotFound(w, nil)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(status())
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = WriteJSON(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("armdse telemetry\n\n/metrics\n/status\n/debug/vars\n/debug/pprof/\n"))
+	})
+	return mux
+}
+
+// Serve binds addr (e.g. ":8080" or "127.0.0.1:0") and serves the handler
+// in a background goroutine. It returns the server (for Shutdown/Close) and
+// the bound address, which resolves ":0" to the kernel-assigned port.
+func Serve(addr string, h http.Handler) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,93 @@
+package obs
+
+import "sort"
+
+// SeriesSnapshot is one (label set, value) observation of a family at
+// snapshot time.
+type SeriesSnapshot struct {
+	// Labels is the series' sorted label set.
+	Labels []Label `json:"labels,omitempty"`
+	// Value carries the counter total or gauge value.
+	Value float64 `json:"value"`
+	// PerShard is the counter's per-shard breakdown (counters only) —
+	// shard i is worker i's contribution.
+	PerShard []int64 `json:"per_shard,omitempty"`
+	// Buckets are the histogram's non-cumulative per-bucket counts
+	// (histograms only); bucket bounds come from BucketUpperBound.
+	Buckets []int64 `json:"buckets,omitempty"`
+	// Count and Sum summarise the histogram's observations.
+	Count int64 `json:"count,omitempty"`
+	Sum   int64 `json:"sum,omitempty"`
+}
+
+// FamilySnapshot is one metric family with all its series.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Kind   string           `json:"kind"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot is a deterministic point-in-time view of a registry: families
+// sorted by name, series sorted by label identity, shards pre-aggregated.
+// Two snapshots of identical recorded state encode byte-identically.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// Snapshot aggregates the registry. It takes the registration lock only to
+// enumerate families; reading the shards races benignly with concurrent
+// recording (each slot is an atomic load), which is exactly the live-monitor
+// semantic: a snapshot is one consistent-enough view of a moving sweep.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := Snapshot{Families: make([]FamilySnapshot, 0, len(fams))}
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind.String()}
+		r.mu.Lock()
+		ser := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			ser = append(ser, s)
+		}
+		r.mu.Unlock()
+		sort.Slice(ser, func(i, j int) bool { return ser[i].lkey < ser[j].lkey })
+		for _, s := range ser {
+			ss := SeriesSnapshot{Labels: s.labels}
+			switch f.kind {
+			case KindCounter:
+				ss.PerShard = make([]int64, len(s.c.sh))
+				var t int64
+				for i := range s.c.sh {
+					ss.PerShard[i] = s.c.sh[i].v.Load()
+					t += ss.PerShard[i]
+				}
+				ss.Value = float64(t)
+			case KindGauge:
+				ss.Value = s.g.Value()
+			case KindHistogram:
+				ss.Buckets = make([]int64, NumHistBuckets)
+				for i := range s.h.sh {
+					sh := &s.h.sh[i]
+					for b := 0; b < NumHistBuckets; b++ {
+						ss.Buckets[b] += sh.buckets[b].Load()
+					}
+					ss.Count += sh.count.Load()
+					ss.Sum += sh.sum.Load()
+				}
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out.Families = append(out.Families, fs)
+	}
+	return out
+}

@@ -50,7 +50,7 @@ func BenchmarkRunPooled(b *testing.B) {
 	rc := newRunContext()
 	benchRuns(b, func(b *testing.B, cfg params.Config) {
 		for _, w := range suite {
-			prog, arena, err := cache.get(w, cfg.Core.VectorLength)
+			prog, arena, err := cache.get(w, cfg.Core.VectorLength, 0)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -103,6 +103,13 @@ type ProgressEvent struct {
 	RowsPerSec float64
 	// Cycles is the total number of core cycles simulated so far.
 	Cycles int64
+	// Elapsed is the monotonic wall time since the run started.
+	Elapsed time.Duration
+	// ETA estimates the remaining wall time from the mean completion rate;
+	// zero until the first row lands and once the run is complete. Computed
+	// once here so every consumer (CLI progress line, monitor endpoint,
+	// journal heartbeats) shares the same estimate.
+	ETA time.Duration
 }
 
 // Engine wires the stages together and runs the worker pool.
@@ -137,6 +144,11 @@ type Engine struct {
 	// exactly one per call. The callback runs on the hot path — keep it
 	// fast and do not block.
 	Progress func(ev ProgressEvent)
+	// Telemetry, when non-nil, receives per-run metrics, sweep gauges and
+	// JSONL journal records; see Telemetry. Recording is allocation-free
+	// and purely observational — a telemetered run produces byte-identical
+	// dataset output.
+	Telemetry *Telemetry
 }
 
 // Run feeds every non-skipped index through the worker stage into the
@@ -174,7 +186,11 @@ func (e *Engine) Run(ctx context.Context) (done, failed int, err error) {
 		todo = append(todo, i)
 	}
 
+	start := time.Now()
+	tel := e.Telemetry
+	tel.bind(e.Suite, workers, len(todo), e.ShardIndex, e.ShardCount, start)
 	cache := newProgramCache()
+	cache.instrument(tel)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 
@@ -183,24 +199,31 @@ func (e *Engine) Run(ctx context.Context) (done, failed int, err error) {
 	var mu sync.Mutex
 	var cycles int64
 	var sinkErr error
-	start := time.Now()
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			// Each worker owns one pooled run context: core, backend and
 			// stream cursor are allocated on the first job and reset in
-			// place for every subsequent one.
+			// place for every subsequent one. The worker index doubles as
+			// the telemetry shard, so metric recording never contends
+			// across workers.
 			rc := newRunContext()
+			rc.tel, rc.worker = tel, worker
 			for i := range jobs {
-				row := e.runConfig(cache, rc, i, maxCycles)
+				t0 := time.Now()
+				row := e.runConfig(cache, rc, i, maxCycles, worker)
+				tel.configDone(worker, &row, time.Since(t0).Nanoseconds())
 				mu.Lock()
 				if sinkErr != nil {
 					mu.Unlock()
 					continue
 				}
-				if err := e.Sink.Put(row); err != nil {
+				sp := tel.sinkHist().Start(worker)
+				err := e.Sink.Put(row)
+				sp.End()
+				if err != nil {
 					sinkErr = err
 					mu.Unlock()
 					continue
@@ -210,18 +233,25 @@ func (e *Engine) Run(ctx context.Context) (done, failed int, err error) {
 					failed++
 				}
 				cycles += row.Cycles
+				elapsed := time.Since(start)
+				ev := ProgressEvent{
+					Done:       done,
+					Failed:     failed,
+					Total:      len(todo),
+					RowsPerSec: float64(done) / elapsed.Seconds(),
+					Cycles:     cycles,
+					Elapsed:    elapsed,
+				}
+				if done > 0 && done < len(todo) {
+					ev.ETA = time.Duration(float64(elapsed) * float64(len(todo)-done) / float64(done))
+				}
+				tel.progress(ev)
 				if e.Progress != nil {
-					e.Progress(ProgressEvent{
-						Done:       done,
-						Failed:     failed,
-						Total:      len(todo),
-						RowsPerSec: float64(done) / time.Since(start).Seconds(),
-						Cycles:     cycles,
-					})
+					e.Progress(ev)
 				}
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 
 	var ctxErr error
@@ -251,18 +281,30 @@ feed:
 
 // runConfig is the worker stage: simulate the full suite on configuration
 // index i through the worker's pooled run context and record the outcome.
-func (e *Engine) runConfig(cache *programCache, rc *runContext, i int, maxCycles int64) Row {
+// Telemetry recording (per-app wall time, stall aggregates, journal staging)
+// rides the same pass; with a nil Telemetry the only overhead is a nil check
+// per app.
+func (e *Engine) runConfig(cache *programCache, rc *runContext, i int, maxCycles int64, worker int) Row {
+	tel := e.Telemetry
+	tel.beginConfig(worker)
 	cfg := e.Source.At(i)
 	row := Row{Index: i, Config: cfg, Features: cfg.Features()}
 	targets := make(map[string]float64, len(e.Suite))
 	stalls := make(map[string]simeng.StallBreakdown, len(e.Suite))
-	for _, w := range e.Suite {
-		prog, arena, err := cache.get(w, cfg.Core.VectorLength)
+	for ai, w := range e.Suite {
+		prog, arena, err := cache.get(w, cfg.Core.VectorLength, worker)
 		if err != nil {
 			row.Err = err
 			return row
 		}
+		var t0 time.Time
+		if tel != nil {
+			t0 = time.Now()
+		}
 		st, err := rc.simulate(e.Backend, cfg, prog, arena, maxCycles)
+		if tel != nil {
+			tel.appRun(worker, ai, time.Since(t0).Nanoseconds(), st, err)
+		}
 		row.Cycles += st.Cycles
 		if err != nil {
 			row.Err = fmt.Errorf("%s: %w", w.Name(), err)

@@ -58,6 +58,10 @@ type Options struct {
 	// contract: calls are serialised by the engine but may come from
 	// different goroutines; keep the callback fast.
 	Progress func(ev ProgressEvent)
+	// Telemetry, when non-nil, records run metrics, sweep gauges and JSONL
+	// journal records through the collection; see Telemetry. Purely
+	// observational — dataset output is byte-identical with it enabled.
+	Telemetry *Telemetry
 }
 
 // Result is a collection outcome.
@@ -149,6 +153,7 @@ func Collect(ctx context.Context, opt Options) (Result, error) {
 		ShardCount:      opt.ShardCount,
 		Skip:            opt.Skip,
 		Progress:        opt.Progress,
+		Telemetry:       opt.Telemetry,
 	}
 	done, failed, runErr := eng.Run(ctx)
 	res := Result{Done: done, Failed: failed}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"armdse/internal/isa"
+	"armdse/internal/obs"
 	"armdse/internal/workload"
 )
 
@@ -27,6 +28,11 @@ import (
 type programCache struct {
 	mu      sync.Mutex
 	entries map[progKey]*progEntry
+	// hits/misses/buildWall are optional telemetry handles (nil-safe): a
+	// lookup that finds an existing entry is a hit, one that creates the
+	// entry is a miss, and the miss's build + materialization is timed.
+	hits, misses *obs.Counter
+	buildWall    *obs.Histogram
 }
 
 type progKey struct {
@@ -45,7 +51,15 @@ func newProgramCache() *programCache {
 	return &programCache{entries: make(map[progKey]*progEntry)}
 }
 
-func (pc *programCache) get(w workload.Workload, vl int) (*workload.Program, []isa.Inst, error) {
+// instrument attaches the telemetry hub's progcache handles (nil-safe).
+func (pc *programCache) instrument(tel *Telemetry) {
+	if tel == nil {
+		return
+	}
+	pc.hits, pc.misses, pc.buildWall = tel.progHits, tel.progMisses, tel.progBuild
+}
+
+func (pc *programCache) get(w workload.Workload, vl int, worker int) (*workload.Program, []isa.Inst, error) {
 	key := progKey{name: w.Name(), vl: vl}
 	pc.mu.Lock()
 	e, ok := pc.entries[key]
@@ -54,11 +68,18 @@ func (pc *programCache) get(w workload.Workload, vl int) (*workload.Program, []i
 		pc.entries[key] = e
 	}
 	pc.mu.Unlock()
+	if ok {
+		pc.hits.Inc(worker)
+	} else {
+		pc.misses.Inc(worker)
+	}
 	e.once.Do(func() {
+		sp := pc.buildWall.Start(worker)
 		e.prog, e.err = w.Program(vl)
 		if e.err == nil {
 			e.arena = e.prog.Materialize(0)
 		}
+		sp.End()
 	})
 	return e.prog, e.arena, e.err
 }

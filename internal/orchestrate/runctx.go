@@ -20,6 +20,10 @@ type runContext struct {
 	core   *simeng.Core
 	pool   BackendPool
 	cursor isa.SliceStream
+	// tel/worker are the optional telemetry hub and this worker's shard
+	// index; set by the engine after construction (nil tel = untelemetered).
+	tel    *Telemetry
+	worker int
 }
 
 func newRunContext() *runContext { return &runContext{} }
@@ -40,8 +44,10 @@ func (rc *runContext) simulate(backend string, cfg params.Config, prog *workload
 		stream = prog.Stream()
 	}
 	if rc.core == nil {
+		rc.tel.poolEvent(rc.worker, false)
 		rc.core, err = simeng.New(cfg.Core, mem)
 	} else {
+		rc.tel.poolEvent(rc.worker, true)
 		err = rc.core.Reset(cfg.Core, mem)
 	}
 	if err != nil {

@@ -56,7 +56,7 @@ func TestPooledMatchesFresh(t *testing.T) {
 	rc := newRunContext()
 	for ci, cfg := range configs {
 		for _, w := range tinySuite() {
-			prog, arena, err := cache.get(w, cfg.Core.VectorLength)
+			prog, arena, err := cache.get(w, cfg.Core.VectorLength, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -88,7 +88,7 @@ func TestPooledTruncatedThenFull(t *testing.T) {
 	cfg := params.ThunderX2()
 	w := tinySuite()[0]
 	cache := newProgramCache()
-	prog, arena, err := cache.get(w, cfg.Core.VectorLength)
+	prog, arena, err := cache.get(w, cfg.Core.VectorLength, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestPooledRunSteadyStateAllocs(t *testing.T) {
 	rc := newRunContext()
 	run := func() {
 		for _, w := range suite {
-			prog, arena, err := cache.get(w, cfg.Core.VectorLength)
+			prog, arena, err := cache.get(w, cfg.Core.VectorLength, 0)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -19,6 +19,7 @@ func (c *Core) commitStage() {
 				Op:         e.op,
 				SVE:        e.sve,
 				Dispatched: e.dispatchedAt,
+				Issued:     e.issuedAt,
 				Done:       e.resultAt,
 				Committed:  c.cycle,
 			})

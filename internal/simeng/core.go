@@ -1,11 +1,17 @@
 package simeng
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"armdse/internal/isa"
 )
+
+// ErrCycleLimit marks a run aborted by its cycle budget (RunLimit's
+// maxCycles, the engine's MaxCyclesPerRun protection). Callers distinguish
+// budget hits from structural failures with errors.Is.
+var ErrCycleLimit = errors.New("cycle limit exceeded")
 
 // doneNever marks a result time that is not yet known.
 const doneNever = math.MaxInt64
@@ -43,9 +49,11 @@ type entry struct {
 	addr     uint64
 	// earliestReady is the max known completion time of resolved sources.
 	earliestReady int64
-	// pc and dispatchedAt feed the optional commit tracer.
+	// pc, dispatchedAt and issuedAt feed the optional commit tracer;
+	// issuedAt is -1 until the instruction wins a port.
 	pc           uint64
 	dispatchedAt int64
+	issuedAt     int64
 	// wakeHead is the first (consumerSeq*4+slot) node of this entry's
 	// consumer wake list, or -1.
 	wakeHead int64
@@ -82,9 +90,12 @@ type TraceEvent struct {
 	// Op is the execution group; SVE marks Z-register instructions.
 	Op  isa.Group
 	SVE bool
-	// Dispatched, Done and Committed are the cycles the instruction
-	// entered the window, produced its result, and retired.
+	// Dispatched, Issued, Done and Committed are the cycles the
+	// instruction entered the window, won an execution port, produced its
+	// result, and retired. Issued is -1 for instructions that never pass
+	// the scheduler (not produced today, but kept defensive).
 	Dispatched int64
+	Issued     int64
 	Done       int64
 	Committed  int64
 }
@@ -139,11 +150,12 @@ type Core struct {
 	lsq    lsqUnit
 	bus    stallBus
 
-	cycle    int64
-	progress bool
-	runErr   error
-	stats    Stats
-	tracer   func(TraceEvent)
+	cycle       int64
+	progress    bool
+	runErr      error
+	stats       Stats
+	tracer      func(TraceEvent)
+	stallTracer func(class StallClass, fromCycle, cycles int64)
 }
 
 // evStamp is one event-dedup cache slot: a posted wake-up cycle and the
@@ -171,6 +183,16 @@ func (c *Core) postEvent(at int64) {
 // before Run.
 func (c *Core) SetTracer(fn func(TraceEvent)) { c.tracer = fn }
 
+// SetStallTracer installs a per-step stall-attribution callback: after each
+// simulated step the engine reports the StallClass charged for the cycles
+// [fromCycle, fromCycle+cycles). Intervals arrive in cycle order and tile the
+// run exactly (their cycle counts sum to Stats.Cycles), so a consumer can
+// coalesce adjacent same-class intervals into timeline tracks. Like SetTracer
+// it slows simulation, must be set before Run, and is cleared by Reset.
+func (c *Core) SetStallTracer(fn func(class StallClass, fromCycle, cycles int64)) {
+	c.stallTracer = fn
+}
+
 // fetchQCap and renameQCap are the inter-stage latch capacities.
 const (
 	fetchQCap  = 192
@@ -190,7 +212,8 @@ func New(cfg Config, mem MemoryBackend) (*Core, error) {
 // if it had been built with New — but retaining every backing array (window
 // slots, queue buffers, heaps, per-port and per-class tables) so a pooled
 // core allocates nothing at steady state. Reset clears any installed
-// tracer; call SetTracer again after Reset if tracing is wanted.
+// tracers; call SetTracer/SetStallTracer again after Reset if tracing is
+// wanted.
 //
 // The contract, pinned by the pooled-vs-fresh differential tests: a Run
 // after Reset is byte-identical to the same Run on a freshly constructed
@@ -237,6 +260,7 @@ func (c *Core) Reset(cfg Config, mem MemoryBackend) error {
 	c.runErr = nil
 	c.resetStats()
 	c.tracer = nil
+	c.stallTracer = nil
 	return nil
 }
 
@@ -307,6 +331,9 @@ func (c *Core) RunLimit(stream isa.Stream, maxCycles int64) (Stats, error) {
 			// The final cycle is counted in Cycles (== c.cycle+1), so it
 			// gets one attribution too.
 			c.stats.Stalls[class]++
+			if c.stallTracer != nil {
+				c.stallTracer(class, c.cycle, 1)
+			}
 			break
 		}
 		occ := c.seqDispatched - c.seqCommitted
@@ -343,10 +370,13 @@ func (c *Core) RunLimit(stream isa.Stream, maxCycles int64) (Stats, error) {
 		}
 		elapsed := c.cycle - prevCycle
 		c.stats.Stalls[class] += elapsed
+		if c.stallTracer != nil {
+			c.stallTracer(class, prevCycle, elapsed)
+		}
 		c.stats.ROBOccupancy += occ * elapsed
 		c.stats.RSOccupancy += int64(c.issue.rsCount) * elapsed
 		if c.cycle > maxCycles {
-			return c.stats, fmt.Errorf("simeng: exceeded cycle limit %d with %d retired", maxCycles, c.stats.Retired)
+			return c.stats, fmt.Errorf("simeng: exceeded cycle limit %d with %d retired: %w", maxCycles, c.stats.Retired, ErrCycleLimit)
 		}
 	}
 	c.stats.Cycles = c.cycle + 1

@@ -47,6 +47,7 @@ func (c *Core) dispatchStage() {
 		e.earliestReady = 0
 		e.pc = r.pc
 		e.dispatchedAt = c.cycle
+		e.issuedAt = -1
 		e.wakeHead = -1
 		e.wakeNext[0] = -1
 		e.wakeNext[1] = -1

@@ -144,6 +144,7 @@ func (c *Core) issueStage() {
 			u.ports[port].freeAt = c.cycle + int64(e.op.Latency())
 		}
 		c.stats.PortIssued[port]++
+		e.issuedAt = c.cycle
 		switch e.op {
 		case isa.Load:
 			// Address generation this cycle; line requests from next.
