@@ -30,6 +30,7 @@ import (
 
 	"armdse/internal/dataset"
 	"armdse/internal/dtree"
+	"armdse/internal/isa"
 	"armdse/internal/obs"
 	"armdse/internal/orchestrate"
 	"armdse/internal/params"
@@ -184,6 +185,65 @@ const (
 
 // Backends lists the recognised memory backend names.
 func Backends() []string { return orchestrate.Backends() }
+
+// Evaluator names accepted by NewEvaluator and CollectOptions.Eval.
+const (
+	// EvalExact runs the full simulator on every configuration — the
+	// study's default and the ground-truth reference.
+	EvalExact = orchestrate.EvalExact
+	// EvalBound answers every configuration from the analytical roofline
+	// bound model: no simulation, microsecond evaluations.
+	EvalBound = orchestrate.EvalBound
+	// EvalHybrid predicts from bounds plus a learned residual when the
+	// forest is confident, escalating the rest to exact simulation.
+	EvalHybrid = orchestrate.EvalHybrid
+)
+
+// Evaluator-seam types; see internal/orchestrate for the contracts.
+type (
+	// Evaluator produces per-(configuration, workload) evaluations; the
+	// seam behind CollectOptions.Eval.
+	Evaluator = orchestrate.Evaluator
+	// Evaluation is one evaluator outcome: stats, confidence, and whether
+	// it came from exact simulation.
+	Evaluation = orchestrate.Evaluation
+	// EvalOptions configure NewEvaluator.
+	EvalOptions = orchestrate.EvalOptions
+	// Bounds is the analytical bound model's per-run cycle bracket.
+	Bounds = simeng.Bounds
+	// BoundModel computes analytical cycle bounds for one configuration.
+	BoundModel = simeng.BoundModel
+	// StreamStats summarises an instruction stream for the bound model.
+	StreamStats = isa.StreamStats
+)
+
+// Evaluators lists the recognised evaluator names.
+func Evaluators() []string { return orchestrate.Evaluators() }
+
+// NewEvaluator builds the named per-config evaluator ("" = EvalExact): the
+// standalone face of the evaluator seam, for single-point studies. Batch
+// collection selects the same evaluators through CollectOptions.Eval, where
+// the engine additionally guarantees worker-count-independent routing.
+func NewEvaluator(kind string, opt EvalOptions) (Evaluator, error) {
+	return orchestrate.NewEvaluator(kind, opt)
+}
+
+// NewBoundModel builds the analytical evaluator's core: per-application
+// cycle lower/upper bounds from the configuration and the application's
+// stream statistics (cfg.MemProfile() supplies the memory-system view).
+func NewBoundModel(core CoreConfig, mem simeng.MemProfile) (*BoundModel, error) {
+	return simeng.NewBoundModel(core, mem)
+}
+
+// WorkloadStats summarises a workload's instruction stream at the given
+// vector length — the bound model's per-application input.
+func WorkloadStats(w Workload, vectorLength int) (StreamStats, error) {
+	p, err := w.Program(vectorLength)
+	if err != nil {
+		return StreamStats{}, err
+	}
+	return p.Stats(), nil
+}
 
 // SimulateOn is SimulateLimited with an explicit memory backend selection;
 // backend "" means BackendSST and maxCycles <= 0 the engine default.

@@ -92,11 +92,18 @@ func main() {
 }
 
 // journalMeta identifies the dataset a journal belongs to, so -resume
-// refuses a journal from a run with a different seed, sample count, or
-// suite. Workers and shard are excluded: both may change across a resume
-// without affecting which rows the journal holds.
-func journalMeta(seed int64, samples int, paper bool) string {
-	return fmt.Sprintf("seed=%d samples=%d paper=%t", seed, samples, paper)
+// refuses a journal from a run with a different seed, sample count, suite,
+// or evaluator. Workers and shard are excluded: both may change across a
+// resume without affecting which rows the journal holds. The evaluator is
+// included only when non-exact, keeping old exact journals resumable, and
+// makes resuming an exact journal under -eval hybrid (or vice versa) an
+// error — that would silently mix simulated and predicted rows.
+func journalMeta(seed int64, samples int, paper bool, eval string) string {
+	m := fmt.Sprintf("seed=%d samples=%d paper=%t", seed, samples, paper)
+	if eval != "" && eval != armdse.EvalExact {
+		m += " eval=" + eval
+	}
+	return m
 }
 
 // parseShard parses "i/n" into (i, n).
@@ -113,13 +120,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("dsegen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		samples = fs.Int("samples", 2000, "number of design-space configurations to simulate")
-		seed    = fs.Int64("seed", 1, "sampling seed (identical seeds reproduce identical datasets)")
-		out     = fs.String("out", "dataset.csv", "output CSV path (rows journaled to <out>.journal while running)")
-		workers = fs.Int("workers", 0, "worker pool size (0 = all cores)")
-		paper   = fs.Bool("paper", false, "use the paper's Table IV inputs (1-5 minute runs each, as in the study)")
-		resume  = fs.Bool("resume", false, "resume an interrupted run from <out>.journal, skipping completed configs")
-		shard   = fs.String("shard", "", "collect only shard i/n of the index space (e.g. 3/8); union of shards = full run")
+		samples  = fs.Int("samples", 2000, "number of design-space configurations to simulate")
+		seed     = fs.Int64("seed", 1, "sampling seed (identical seeds reproduce identical datasets)")
+		out      = fs.String("out", "dataset.csv", "output CSV path (rows journaled to <out>.journal while running)")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = all cores)")
+		paper    = fs.Bool("paper", false, "use the paper's Table IV inputs (1-5 minute runs each, as in the study)")
+		resume   = fs.Bool("resume", false, "resume an interrupted run from <out>.journal, skipping completed configs")
+		shard    = fs.String("shard", "", "collect only shard i/n of the index space (e.g. 3/8); union of shards = full run")
+		eval     = fs.String("eval", "", "per-config evaluator: exact (default), bound (analytical), hybrid (bounds + learned residual, escalating uncertain configs to exact)")
+		evalEsc  = fs.Float64("eval-escalate", 0, "hybrid escalation threshold on the residual forest's log spread (0 = default)")
+		evalWarm = fs.Int("eval-warmup", 0, "hybrid warmup: leading configs always simulated exactly before the first residual fit (0 = default)")
+		evalRefr = fs.Int("eval-refresh", 0, "hybrid generation size: residual forests retrain every this many configs (0 = default)")
 		quiet    = fs.Bool("q", false, "suppress progress output")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -162,7 +173,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	features := armdse.FeatureNames()
 	apps := armdse.SuiteNames(suite)
 	journal := *out + ".journal"
-	meta := journalMeta(*seed, *samples, *paper)
+	meta := journalMeta(*seed, *samples, *paper, *eval)
 
 	aux := armdse.StallColumns(apps)
 
@@ -234,16 +245,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 	start := time.Now()
 	opt := armdse.CollectOptions{
-		Seed:       *seed,
-		Samples:    *samples,
-		Workers:    *workers,
-		Suite:      suite,
-		Validate:   true,
-		Sink:       armdse.NewStreamSink(sw),
-		Skip:       func(i int) bool { return skip[i] },
-		ShardIndex: shardIndex,
-		ShardCount: shardCount,
-		Telemetry:  tel,
+		Seed:         *seed,
+		Samples:      *samples,
+		Workers:      *workers,
+		Suite:        suite,
+		Eval:         *eval,
+		EvalEscalate: *evalEsc,
+		EvalWarmup:   *evalWarm,
+		EvalRefresh:  *evalRefr,
+		Validate:     true,
+		Sink:         armdse.NewStreamSink(sw),
+		Skip:         func(i int) bool { return skip[i] },
+		ShardIndex:   shardIndex,
+		ShardCount:   shardCount,
+		Telemetry:    tel,
 	}
 	if !*quiet {
 		opt.Progress = func(ev armdse.ProgressEvent) {

@@ -51,6 +51,45 @@ func TestRunBadFlags(t *testing.T) {
 	}
 }
 
+func TestRunEvalBound(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bound.csv")
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-samples", "3", "-seed", "7", "-out", out, "-eval", "bound", "-q"},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := armdse.LoadDataset(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Len() != 3 {
+		t.Errorf("bound dataset rows = %d", data.Len())
+	}
+	for _, app := range data.Apps {
+		y, err := data.Target(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range y {
+			if v <= 0 {
+				t.Errorf("%s row %d predicted cycles = %g", app, i, v)
+			}
+		}
+	}
+}
+
+func TestRunEvalUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	out := filepath.Join(t.TempDir(), "ds.csv")
+	err := run(context.Background(),
+		[]string{"-samples", "2", "-out", out, "-eval", "oracle", "-q"}, &buf, &buf)
+	if err == nil || !strings.Contains(err.Error(), "oracle") {
+		t.Errorf("unknown evaluator accepted: %v", err)
+	}
+}
+
 func TestRunCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -87,7 +126,7 @@ func TestRunResumeMatchesUninterrupted(t *testing.T) {
 	suite := armdse.TestSuite()
 	apps := armdse.SuiteNames(suite)
 	sw, err := armdse.CreateStreamAux(out+".journal", armdse.FeatureNames(), apps,
-		armdse.StallColumns(apps), journalMeta(9, 4, false))
+		armdse.StallColumns(apps), journalMeta(9, 4, false, ""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +167,7 @@ func TestRunResumeV1Journal(t *testing.T) {
 	out := filepath.Join(dir, "v1.csv")
 	suite := armdse.TestSuite()
 	sw, err := armdse.CreateStream(out+".journal", armdse.FeatureNames(), armdse.SuiteNames(suite),
-		journalMeta(9, 4, false))
+		journalMeta(9, 4, false, ""))
 	if err != nil {
 		t.Fatal(err)
 	}

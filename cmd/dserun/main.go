@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	dserun [-app STREAM] [-config cfg.json] [-vl 512] [-paper] [-mem sst] [-hw] [-v]
+//	dserun [-app STREAM] [-config cfg.json] [-vl 512] [-paper] [-mem sst] [-eval exact] [-v]
 //	dserun -dump-baseline tx2.json
 //	dserun -app TeaLeaf -paper -http :8080 -cpuprofile cpu.pb.gz
 package main
@@ -23,7 +23,6 @@ import (
 	"runtime/pprof"
 
 	"armdse"
-	"armdse/internal/sstmem"
 	"armdse/internal/workload"
 )
 
@@ -79,8 +78,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfgPath  = fs.String("config", "", "JSON configuration file (default: ThunderX2 baseline)")
 		vl       = fs.Int("vl", 0, "override SVE vector length in bits (power of two, 128-2048)")
 		paper    = fs.Bool("paper", false, "use the paper's Table IV inputs instead of the scaled test inputs")
-		hw       = fs.Bool("hw", false, "use the high-fidelity (hardware-proxy) memory model")
+		hw       = fs.Bool("hw", false, "deprecated alias for -mem proxy")
 		mem      = fs.String("mem", "", "memory backend: sst (default), flat, proxy")
+		eval     = fs.String("eval", "", "evaluator: exact (default), bound (analytical), hybrid (bounds + learned residual)")
+		evalEsc  = fs.Float64("eval-escalate", 0, "hybrid escalation threshold on the residual forest's log spread (0 = default)")
 		verbose  = fs.Bool("v", false, "print detailed memory statistics")
 		maxCyc   = fs.Int64("max-cycles", 0, "abort the run after this many simulated cycles (0 = engine default)")
 		dumpBase = fs.String("dump-baseline", "", "write the ThunderX2 baseline config to this path and exit")
@@ -88,8 +89,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 		memProf  = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 		httpAddr = fs.String("http", "", "serve /debug/pprof (and /metrics, /debug/vars) on this address while the run executes")
 	)
+	// -hw is a deprecated alias kept for old scripts; hide it from the
+	// usage listing so new invocations reach for -mem proxy instead.
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "Usage of dserun:")
+		fs.VisitAll(func(f *flag.Flag) {
+			if f.Name == "hw" {
+				return
+			}
+			fmt.Fprintf(stderr, "  -%s\n    \t%s\n", f.Name, f.Usage)
+		})
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	memSel := *mem
+	if *hw {
+		fmt.Fprintln(stderr, "dserun: -hw is deprecated; use -mem proxy")
+		if memSel != "" && memSel != armdse.BackendProxy {
+			return fmt.Errorf("-hw conflicts with -mem %q; drop -hw or use -mem proxy", memSel)
+		}
+		memSel = armdse.BackendProxy
 	}
 	if *httpAddr != "" {
 		srv, bound, err := armdse.ServeTelemetry(*httpAddr, armdse.TelemetryHandler(armdse.NewMetricsRegistry(1), nil))
@@ -136,10 +156,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 			cfg.Core.StoreBandwidth = *vl / 8
 		}
 	}
-	if *hw {
-		cfg.Mem.Fidelity = sstmem.High
-	}
-
 	suite := armdse.TestSuite()
 	if *paper {
 		suite = armdse.PaperSuite()
@@ -152,11 +168,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	st, err := armdse.SimulateOn(*mem, cfg, w, *maxCyc)
+	evaluator, err := armdse.NewEvaluator(*eval, armdse.EvalOptions{
+		Backend:   memSel,
+		MaxCycles: *maxCyc,
+		Escalate:  *evalEsc,
+	})
 	if err != nil {
 		return err
 	}
+	evaluation, err := evaluator.Evaluate(cfg, w)
+	if err != nil {
+		return err
+	}
+	st := evaluation.Stats
 	fmt.Fprintf(stdout, "app=%s vl=%d\n", w.Name(), cfg.Core.VectorLength)
+	if !evaluation.Exact {
+		fmt.Fprintf(stdout, "eval:                %s (predicted, confidence %.3f)\n", *eval, evaluation.Confidence)
+	}
 	fmt.Fprintf(stdout, "cycles:              %d\n", st.Cycles)
 	fmt.Fprintf(stdout, "retired:             %d (IPC %.3f)\n", st.Retired, st.IPC())
 	fmt.Fprintf(stdout, "sve retired:         %d (%.1f%%)\n", st.SVERetired, st.VectorisationPct())

@@ -101,6 +101,28 @@ func (f *Forest) Predict(x []float64) float64 {
 	return s / float64(len(f.trees))
 }
 
+// PredictStats evaluates the forest on one feature vector and returns both
+// the ensemble mean and the between-tree standard deviation. The spread is
+// the forest's native uncertainty signal: trees that agree have all seen
+// enough similar training mass to pin the region down, while disagreement
+// marks extrapolation — which is what the hybrid evaluator's
+// confidence-based routing keys on.
+func (f *Forest) PredictStats(x []float64) (mean, std float64) {
+	var s, sq float64
+	for _, t := range f.trees {
+		v := t.Predict(x)
+		s += v
+		sq += v * v
+	}
+	n := float64(len(f.trees))
+	mean = s / n
+	variance := sq/n - mean*mean
+	if variance > 0 {
+		std = math.Sqrt(variance)
+	}
+	return mean, std
+}
+
 // MAE returns the forest's mean absolute error over (x, y).
 func (f *Forest) MAE(x [][]float64, y []float64) float64 {
 	if len(x) == 0 {

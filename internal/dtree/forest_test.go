@@ -102,6 +102,36 @@ func TestForestPredictAllAndMAE(t *testing.T) {
 	}
 }
 
+func TestForestPredictStats(t *testing.T) {
+	xTr, yTr, xTe, _ := noisyData(5, 400)
+	forest, err := TrainForest(xTr, yTr, ForestOptions{Trees: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range xTe {
+		mean, std := forest.PredictStats(probe)
+		if mean != forest.Predict(probe) {
+			t.Fatalf("PredictStats mean %g != Predict %g", mean, forest.Predict(probe))
+		}
+		if std < 0 || math.IsNaN(std) {
+			t.Fatalf("std = %g", std)
+		}
+	}
+	// Far outside the training box the trees were grown on different
+	// bootstrap tails, so disagreement (std) should exceed the in-domain
+	// average.
+	var inStd float64
+	for _, probe := range xTe {
+		_, s := forest.PredictStats(probe)
+		inStd += s
+	}
+	inStd /= float64(len(xTe))
+	_, outStd := forest.PredictStats([]float64{25, -30, 40})
+	if outStd < inStd {
+		t.Logf("note: extrapolation std %.3f below in-domain mean %.3f", outStd, inStd)
+	}
+}
+
 func TestFeatureSubsampling(t *testing.T) {
 	// With MaxFeatures=1 each split sees a single random feature; the
 	// tree still trains and predicts within the target range.

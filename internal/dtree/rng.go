@@ -31,6 +31,15 @@ func subSeed(seed int64, index int) uint64 {
 	return splitmix64(&ss) ^ splitmix64(&is)
 }
 
+// SubSeed exposes the indexed substream derivation for callers layering
+// their own deterministic training schedules on top of the trainer — e.g.
+// the hybrid evaluator's per-(generation, application) residual refreshes,
+// which must produce the same forest at any worker count. The returned
+// value is meant to be passed back in as a seed (truncated to int64).
+func SubSeed(seed int64, index int) int64 {
+	return int64(subSeed(seed, index))
+}
+
 // childSeed derives a node's child substream from the parent's, keyed by
 // side (0 = left, 1 = right), so every node's stream is a pure function of
 // its root-to-node path — independent of build scheduling.

@@ -3,6 +3,7 @@ package orchestrate
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -75,6 +76,13 @@ type Row struct {
 	Cycles int64
 	// Err records the first per-run failure; nil for a clean row.
 	Err error
+	// Predicted reports that Targets came from an analytical or learned
+	// model rather than exact simulation — always false under the exact
+	// evaluator, true for bound rows and the hybrid's non-escalated rows.
+	Predicted bool
+	// Confidence is the evaluator's self-assessed reliability of a
+	// predicted row, in (0, 1]; zero on exact rows.
+	Confidence float64
 }
 
 // Failed reports whether the row was dropped by the validation gate.
@@ -124,6 +132,26 @@ type Engine struct {
 	// Backend selects the memory backend by name (BackendSST, BackendFlat,
 	// BackendProxy); empty uses BackendSST, the study's default.
 	Backend string
+	// Eval selects the per-config evaluator by name (EvalExact, EvalBound,
+	// EvalHybrid); empty uses EvalExact, the study's default. The exact
+	// path is untouched by the seam: an empty or "exact" Eval produces
+	// byte-identical output to engines predating the field.
+	Eval string
+	// EvalEscalate is the hybrid evaluator's escalation threshold on the
+	// residual forest's log-space spread; 0 uses DefaultEvalEscalate.
+	EvalEscalate float64
+	// EvalWarmup is the number of leading configurations the hybrid always
+	// escalates before the first residual fit; 0 uses DefaultEvalWarmup.
+	EvalWarmup int
+	// EvalRefresh is the hybrid's generation size after warmup — the
+	// residual forests retrain at each generation barrier; 0 uses
+	// DefaultEvalRefresh.
+	EvalRefresh int
+	// Seed drives the hybrid evaluator's residual-training substreams (it
+	// does not affect the Source). A hybrid run is deterministic in
+	// (Source, Seed, thresholds): identical inputs route and predict
+	// identically at any worker count.
+	Seed int64
 	// Workers bounds the worker pool; 0 uses GOMAXPROCS.
 	Workers int
 	// MaxCyclesPerRun aborts pathological runs; 0 uses the engine
@@ -166,6 +194,15 @@ func (e *Engine) Run(ctx context.Context) (done, failed int, err error) {
 	if e.ShardCount > 1 && (e.ShardIndex < 0 || e.ShardIndex >= e.ShardCount) {
 		return 0, 0, fmt.Errorf("orchestrate: shard %d/%d out of range", e.ShardIndex, e.ShardCount)
 	}
+	kind := e.Eval
+	if kind == "" {
+		kind = EvalExact
+	}
+	switch kind {
+	case EvalExact, EvalBound, EvalHybrid:
+	default:
+		return 0, 0, fmt.Errorf("orchestrate: unknown evaluator %q (want one of %v)", e.Eval, Evaluators())
+	}
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -189,9 +226,49 @@ func (e *Engine) Run(ctx context.Context) (done, failed int, err error) {
 	start := time.Now()
 	tel := e.Telemetry
 	tel.bind(e.Suite, workers, len(todo), e.ShardIndex, e.ShardCount, start)
+	tel.bindEval(kind)
 	cache := newProgramCache()
 	cache.instrument(tel)
-	jobs := make(chan int)
+
+	// Hybrid routing state and the generation partition. Exact and bound
+	// runs are a single generation — every index is independent, so the
+	// feed degenerates to the classic stream. A hybrid run is split into a
+	// warmup generation (all escalated, seeding the residual forests) and
+	// fixed-size refresh generations with a full barrier between them:
+	// within a generation every routing decision consults a frozen model,
+	// so the decision per index — and therefore the dataset — is a pure
+	// function of (Source, Seed, thresholds), independent of worker count
+	// and completion order.
+	var hst *hybridState
+	gens := [][]int{todo}
+	if kind == EvalHybrid {
+		hst = newHybridState(e.EvalEscalate, e.Seed, workers)
+		warmup := e.EvalWarmup
+		if warmup <= 0 {
+			warmup = DefaultEvalWarmup
+		}
+		refresh := e.EvalRefresh
+		if refresh <= 0 {
+			refresh = DefaultEvalRefresh
+		}
+		if warmup > len(todo) {
+			warmup = len(todo)
+		}
+		gens = [][]int{todo[:warmup]}
+		for lo := warmup; lo < len(todo); lo += refresh {
+			hi := lo + refresh
+			if hi > len(todo) {
+				hi = len(todo)
+			}
+			gens = append(gens, todo[lo:hi])
+		}
+	}
+
+	type job struct {
+		idx     int
+		pending *sync.WaitGroup
+	}
+	jobs := make(chan job)
 	var wg sync.WaitGroup
 
 	// Shared run state, guarded by mu: progress counters and the first
@@ -211,13 +288,22 @@ func (e *Engine) Run(ctx context.Context) (done, failed int, err error) {
 			// across workers.
 			rc := newRunContext()
 			rc.tel, rc.worker = tel, worker
-			for i := range jobs {
+			for j := range jobs {
 				t0 := time.Now()
-				row := e.runConfig(cache, rc, i, maxCycles, worker)
+				var row Row
+				switch kind {
+				case EvalBound:
+					row = e.runBoundConfig(cache, j.idx, worker)
+				case EvalHybrid:
+					row = e.runHybridConfig(cache, rc, hst, j.idx, maxCycles, worker)
+				default:
+					row = e.runConfig(cache, rc, j.idx, maxCycles, worker)
+				}
 				tel.configDone(worker, &row, time.Since(t0).Nanoseconds())
 				mu.Lock()
 				if sinkErr != nil {
 					mu.Unlock()
+					j.pending.Done()
 					continue
 				}
 				sp := tel.sinkHist().Start(worker)
@@ -226,6 +312,7 @@ func (e *Engine) Run(ctx context.Context) (done, failed int, err error) {
 				if err != nil {
 					sinkErr = err
 					mu.Unlock()
+					j.pending.Done()
 					continue
 				}
 				done++
@@ -250,25 +337,40 @@ func (e *Engine) Run(ctx context.Context) (done, failed int, err error) {
 					e.Progress(ev)
 				}
 				mu.Unlock()
+				j.pending.Done()
 			}
 		}(w)
 	}
 
+	// Feed generation by generation. The per-generation WaitGroup counts
+	// every job handed to a worker; waiting on it before refreshing the
+	// hybrid's residual forests is the barrier that keeps routing
+	// deterministic. Exact and bound runs have one generation, so their
+	// feed order and abort behaviour are unchanged.
 	var ctxErr error
 feed:
-	for _, i := range todo {
-		mu.Lock()
-		aborted := sinkErr != nil
-		mu.Unlock()
-		if aborted {
-			break
+	for gi, gen := range gens {
+		if gi > 0 && hst != nil {
+			tel.evalRefresh(hst.refresh())
 		}
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			ctxErr = ctx.Err()
-			break feed
+		var pending sync.WaitGroup
+		for _, i := range gen {
+			mu.Lock()
+			aborted := sinkErr != nil
+			mu.Unlock()
+			if aborted {
+				break feed
+			}
+			pending.Add(1)
+			select {
+			case jobs <- job{idx: i, pending: &pending}:
+			case <-ctx.Done():
+				pending.Done()
+				ctxErr = ctx.Err()
+				break feed
+			}
 		}
+		pending.Wait()
 	}
 	close(jobs)
 	wg.Wait()
@@ -315,6 +417,143 @@ func (e *Engine) runConfig(cache *programCache, rc *runContext, i int, maxCycles
 	}
 	row.Targets = targets
 	row.Stalls = stalls
+	return row
+}
+
+// runBoundConfig is the worker stage under the bound evaluator: answer
+// every application from the analytical bound model, no simulation. The
+// emitted Row carries the same shape as an exact one (targets, stalls
+// summing to cycles), marked Predicted with the bounds' tightness as
+// confidence.
+func (e *Engine) runBoundConfig(cache *programCache, i, worker int) Row {
+	tel := e.Telemetry
+	tel.beginConfig(worker)
+	cfg := e.Source.At(i)
+	row := Row{Index: i, Config: cfg, Features: cfg.Features()}
+	bm, err := simeng.NewBoundModel(cfg.Core, cfg.MemProfile())
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	targets := make(map[string]float64, len(e.Suite))
+	stalls := make(map[string]simeng.StallBreakdown, len(e.Suite))
+	conf := 1.0
+	for ai, w := range e.Suite {
+		st, err := cache.getStats(w, cfg.Core.VectorLength, worker)
+		if err != nil {
+			row.Err = fmt.Errorf("%s: %w", w.Name(), err)
+			return row
+		}
+		var t0 time.Time
+		if tel != nil {
+			t0 = time.Now()
+		}
+		b := bm.Bounds(st)
+		ps := bm.PredictedStats(st, b, b.Lower)
+		if tel != nil {
+			tel.appRun(worker, ai, time.Since(t0).Nanoseconds(), ps, nil)
+		}
+		row.Cycles += ps.Cycles
+		targets[w.Name()] = float64(ps.Cycles)
+		stalls[w.Name()] = ps.Stalls
+		if tight := boundTightness(b); tight < conf {
+			conf = tight
+		}
+	}
+	row.Targets = targets
+	row.Stalls = stalls
+	row.Predicted, row.Confidence = true, conf
+	tel.evalDecision(worker, true, conf)
+	return row
+}
+
+// runHybridConfig is the worker stage under the hybrid evaluator: consult
+// the per-application residual forests and predict the whole configuration
+// when every application clears the confidence threshold, otherwise
+// escalate it to the exact path — which is runConfig itself, so escalated
+// rows are byte-identical to an exact run's — and fold the exact outcomes
+// into the routing state for the next generation's refresh.
+func (e *Engine) runHybridConfig(cache *programCache, rc *runContext, hst *hybridState, i int, maxCycles int64, worker int) Row {
+	tel := e.Telemetry
+	cfg := e.Source.At(i)
+	bm, bmErr := simeng.NewBoundModel(cfg.Core, cfg.MemProfile())
+
+	// Plan each application: bounds, features, and the frozen forest's
+	// verdict. Any miss — no model yet, spread above threshold, a stats
+	// error, or a config outside the bound model's domain — escalates the
+	// whole configuration, keeping each Row purely exact or purely
+	// predicted.
+	type appPlan struct {
+		x    []float64
+		b    simeng.Bounds
+		mean float64
+		std  float64
+	}
+	var plans []appPlan
+	allConfident := bmErr == nil
+	conf := 1.0
+	if bmErr == nil {
+		cfgFeats := cfg.Features()
+		plans = make([]appPlan, len(e.Suite))
+		for ai, w := range e.Suite {
+			st, err := cache.getStats(w, cfg.Core.VectorLength, worker)
+			if err != nil {
+				allConfident = false
+				continue
+			}
+			b := bm.Bounds(st)
+			x := hybridFeatures(cfgFeats, bm, b)
+			mean, std, ok := hst.decide(w.Name(), x)
+			plans[ai] = appPlan{x: x, b: b, mean: mean, std: std}
+			if !ok {
+				allConfident = false
+			} else if c := spreadConfidence(std); c < conf {
+				conf = c
+			}
+		}
+	}
+
+	if allConfident {
+		tel.beginConfig(worker)
+		row := Row{Index: i, Config: cfg, Features: cfg.Features(), Predicted: true, Confidence: conf}
+		targets := make(map[string]float64, len(e.Suite))
+		stalls := make(map[string]simeng.StallBreakdown, len(e.Suite))
+		for ai, w := range e.Suite {
+			st, _ := cache.getStats(w, cfg.Core.VectorLength, worker)
+			p := plans[ai]
+			var t0 time.Time
+			if tel != nil {
+				t0 = time.Now()
+			}
+			ps := bm.PredictedStats(st, p.b, predictCycles(p.b, p.mean))
+			if tel != nil {
+				tel.appRun(worker, ai, time.Since(t0).Nanoseconds(), ps, nil)
+			}
+			row.Cycles += ps.Cycles
+			targets[w.Name()] = float64(ps.Cycles)
+			stalls[w.Name()] = ps.Stalls
+		}
+		row.Targets = targets
+		row.Stalls = stalls
+		tel.evalDecision(worker, true, conf)
+		return row
+	}
+
+	row := e.runConfig(cache, rc, i, maxCycles, worker)
+	tel.evalDecision(worker, false, 0)
+	if row.Err == nil && plans != nil {
+		for ai, w := range e.Suite {
+			p := plans[ai]
+			if p.x == nil {
+				continue
+			}
+			lower := p.b.Lower
+			if lower < 1 {
+				lower = 1
+			}
+			hst.observe(w.Name(), i, p.x, math.Log(row.Targets[w.Name()]/float64(lower)))
+		}
+	}
 	return row
 }
 

@@ -1,0 +1,453 @@
+package orchestrate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"armdse/internal/dtree"
+	"armdse/internal/isa"
+	"armdse/internal/params"
+	"armdse/internal/simeng"
+	"armdse/internal/workload"
+)
+
+// Per-config evaluation seam. Every design-space point needs a cycle count
+// per application; how that number is produced is pluggable. Exact
+// simulation is the ground truth; the analytical bound model answers from
+// stream statistics alone in microseconds; the hybrid routes between them —
+// a dtree residual forest learned on escalated (exactly-simulated) configs
+// predicts on top of the analytical lower bound, and any config the forest
+// is not confident about escalates to exact simulation, whose result feeds
+// the next residual refresh. Selection is by name so it can ride a CLI flag
+// (-eval) exactly like the memory backend's -mem.
+const (
+	// EvalExact runs the full simulator on every configuration — the
+	// study's default and the ground-truth reference.
+	EvalExact = "exact"
+	// EvalBound answers every configuration from the analytical bound
+	// model (simeng.BoundModel): no simulation, roofline accuracy.
+	EvalBound = "bound"
+	// EvalHybrid predicts from bounds plus a learned residual when the
+	// forest is confident, escalating the rest to exact simulation.
+	EvalHybrid = "hybrid"
+)
+
+// Evaluators lists the selectable evaluator names.
+func Evaluators() []string { return []string{EvalExact, EvalBound, EvalHybrid} }
+
+// Hybrid routing defaults. The escalation threshold is in log-cycle units
+// (the residual forest predicts ln(exact/lower), so a between-tree spread
+// of 0.04 is roughly ±4% disagreement about the predicted cycle count);
+// warmup and refresh are generation sizes in configurations.
+const (
+	DefaultEvalEscalate = 0.04
+	DefaultEvalWarmup   = 40
+	DefaultEvalRefresh  = 32
+	// evalForestTrees sizes the residual forests: small enough to retrain
+	// in milliseconds mid-sweep, large enough for a usable spread signal.
+	evalForestTrees = 20
+	// evalMinSamplesLeaf regularises the residual trees.
+	evalMinSamplesLeaf = 2
+)
+
+// Evaluation is the outcome of evaluating one (configuration, workload)
+// pair.
+type Evaluation struct {
+	// Stats is the run outcome. For exact evaluations it is the
+	// simulator's full record; for predicted ones the architectural
+	// counts (retired, loads, stores...) are exact stream properties, the
+	// cycle count is the model's estimate, and the stall breakdown is the
+	// bound model's synthetic attribution (still summing to Cycles).
+	Stats simeng.Stats
+	// Confidence is the evaluator's self-assessed reliability in (0, 1]:
+	// exact evaluations report 1, the bound model its Lower/Upper
+	// tightness, the hybrid a decreasing function of the residual
+	// forest's between-tree spread.
+	Confidence float64
+	// Exact reports whether Stats came from exact simulation.
+	Exact bool
+}
+
+// Evaluator produces a per-(configuration, workload) evaluation. An
+// implementation may keep internal caches or learned state; Evaluate must
+// be safe for concurrent use.
+type Evaluator interface {
+	Evaluate(cfg params.Config, w workload.Workload) (Evaluation, error)
+}
+
+// EvalOptions configure NewEvaluator.
+type EvalOptions struct {
+	// Backend names the memory backend exact simulation uses (see
+	// NewBackend); empty selects BackendSST.
+	Backend string
+	// MaxCycles bounds each exact run; 0 uses the engine default.
+	MaxCycles int64
+	// Escalate is the hybrid's escalation threshold on the residual
+	// forest's log-space spread; 0 uses DefaultEvalEscalate.
+	Escalate float64
+	// Seed drives the hybrid's residual-training substreams.
+	Seed int64
+	// Warmup is the number of leading configurations the hybrid always
+	// escalates before the first residual fit; 0 uses DefaultEvalWarmup.
+	Warmup int
+	// Refresh is the retraining period in observed escalations; 0 uses
+	// DefaultEvalRefresh.
+	Refresh int
+	// Workers bounds residual-training concurrency; 0 uses GOMAXPROCS.
+	Workers int
+}
+
+// NewEvaluator builds the named evaluator. An empty kind selects EvalExact,
+// the study's default.
+func NewEvaluator(kind string, opt EvalOptions) (Evaluator, error) {
+	switch kind {
+	case "", EvalExact:
+		return &ExactEvaluator{Backend: opt.Backend, MaxCycles: opt.MaxCycles}, nil
+	case EvalBound:
+		return NewBoundEvaluator(), nil
+	case EvalHybrid:
+		return NewHybridEvaluator(opt), nil
+	default:
+		return nil, fmt.Errorf("orchestrate: unknown evaluator %q (want one of %v)", kind, Evaluators())
+	}
+}
+
+// ExactEvaluator runs the full simulator — the pre-seam behaviour behind
+// the seam's interface.
+type ExactEvaluator struct {
+	// Backend names the memory backend (see NewBackend); empty selects
+	// BackendSST.
+	Backend string
+	// MaxCycles bounds each run; 0 uses the engine default.
+	MaxCycles int64
+}
+
+// Evaluate implements Evaluator by exact simulation.
+func (e *ExactEvaluator) Evaluate(cfg params.Config, w workload.Workload) (Evaluation, error) {
+	st, err := RunOneOn(e.Backend, cfg, w, e.MaxCycles)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	return Evaluation{Stats: st, Confidence: 1, Exact: true}, nil
+}
+
+// statsCache shares per-(application, vector-length) stream statistics:
+// the stream is a pure function of the pair, so the (full-trace) summary
+// pass runs once however many configurations share it.
+type statsCache struct {
+	mu      sync.Mutex
+	entries map[progKey]*statsEntry
+}
+
+type statsEntry struct {
+	once  sync.Once
+	stats isa.StreamStats
+	err   error
+}
+
+func newStatsCache() *statsCache {
+	return &statsCache{entries: make(map[progKey]*statsEntry)}
+}
+
+func (sc *statsCache) get(w workload.Workload, vl int) (isa.StreamStats, error) {
+	key := progKey{name: w.Name(), vl: vl}
+	sc.mu.Lock()
+	e, ok := sc.entries[key]
+	if !ok {
+		e = &statsEntry{}
+		sc.entries[key] = e
+	}
+	sc.mu.Unlock()
+	e.once.Do(func() {
+		prog, err := w.Program(vl)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.stats = prog.Stats()
+	})
+	return e.stats, e.err
+}
+
+// BoundEvaluator answers every evaluation from the analytical bound model:
+// the estimate is the roofline lower bound, confidence its Lower/Upper
+// tightness. No simulation runs.
+type BoundEvaluator struct {
+	stats *statsCache
+}
+
+// NewBoundEvaluator returns a bound evaluator with a fresh statistics
+// cache.
+func NewBoundEvaluator() *BoundEvaluator {
+	return &BoundEvaluator{stats: newStatsCache()}
+}
+
+// Evaluate implements Evaluator analytically.
+func (e *BoundEvaluator) Evaluate(cfg params.Config, w workload.Workload) (Evaluation, error) {
+	st, err := e.stats.get(w, cfg.Core.VectorLength)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	bm, err := simeng.NewBoundModel(cfg.Core, cfg.MemProfile())
+	if err != nil {
+		return Evaluation{}, err
+	}
+	b := bm.Bounds(st)
+	return Evaluation{
+		Stats:      bm.PredictedStats(st, b, b.Lower),
+		Confidence: boundTightness(b),
+		Exact:      false,
+	}, nil
+}
+
+// boundTightness maps a bounds pair to (0, 1]: 1 when the interval is a
+// point, shrinking as the upper bound loosens.
+func boundTightness(b simeng.Bounds) float64 {
+	if b.Upper <= b.Lower {
+		return 1
+	}
+	return float64(b.Lower) / float64(b.Upper)
+}
+
+// spreadConfidence maps the residual forest's between-tree log-space
+// spread to (0, 1].
+func spreadConfidence(std float64) float64 { return 1 / (1 + std) }
+
+// residualSample is one training observation of the hybrid's residual
+// model: the feature vector of a (configuration, application) pair and the
+// log-ratio of exact cycles to the analytical lower bound.
+type residualSample struct {
+	index int
+	x     []float64
+	y     float64
+}
+
+// residualState is the hybrid's learned state for one application: the
+// accumulated escalation observations and the forest fitted to them.
+// Guarded by the owning hybridState's lock.
+type residualState struct {
+	samples []residualSample
+	forest  *dtree.Forest
+}
+
+// hybridState is the shared routing state of hybrid evaluation: per-app
+// residual forests plus the observations they retrain from. The collection
+// engine drives refreshes at generation barriers (deterministic at any
+// worker count); the standalone HybridEvaluator refreshes opportunistically
+// every Refresh escalations.
+type hybridState struct {
+	threshold float64
+	seed      int64
+	workers   int
+
+	mu   sync.RWMutex
+	apps map[string]*residualState
+	// pendingSinceFit counts observations folded in since the last fit
+	// (standalone refresh trigger) and gens counts completed refreshes
+	// (the training-substream index).
+	pendingSinceFit int
+	gens            int
+}
+
+func newHybridState(threshold float64, seed int64, workers int) *hybridState {
+	if threshold <= 0 {
+		threshold = DefaultEvalEscalate
+	}
+	return &hybridState{
+		threshold: threshold,
+		seed:      seed,
+		workers:   workers,
+		apps:      make(map[string]*residualState),
+	}
+}
+
+// decide consults the app's residual forest on x. ok reports whether the
+// forest exists and its spread clears the escalation threshold; mean and
+// std are the forest's log-space prediction and spread (zero when no forest
+// is fitted yet).
+func (h *hybridState) decide(app string, x []float64) (mean, std float64, ok bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	rs := h.apps[app]
+	if rs == nil || rs.forest == nil {
+		return 0, 0, false
+	}
+	mean, std = rs.forest.PredictStats(x)
+	return mean, std, std <= h.threshold
+}
+
+// observe folds one escalated (configuration, application) outcome into
+// the training set. The config index tags the sample so refresh can order
+// the set deterministically regardless of completion order.
+func (h *hybridState) observe(app string, index int, x []float64, y float64) {
+	h.mu.Lock()
+	rs := h.apps[app]
+	if rs == nil {
+		rs = &residualState{}
+		h.apps[app] = rs
+	}
+	rs.samples = append(rs.samples, residualSample{index: index, x: x, y: y})
+	h.pendingSinceFit++
+	h.mu.Unlock()
+}
+
+// refresh retrains every app's residual forest from all observations so
+// far. Samples are sorted by config index and the forest seed derives from
+// (seed, generation, app position), so given the same observation set the
+// fitted forests are identical at any worker count and arrival order.
+// Returns the total number of training samples fitted.
+func (h *hybridState) refresh() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	names := make([]string, 0, len(h.apps))
+	for name := range h.apps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	genSeed := dtree.SubSeed(h.seed, h.gens)
+	var total int64
+	for ai, name := range names {
+		rs := h.apps[name]
+		if len(rs.samples) < evalMinSamplesLeaf*2 {
+			continue
+		}
+		sort.Slice(rs.samples, func(i, j int) bool { return rs.samples[i].index < rs.samples[j].index })
+		x := make([][]float64, len(rs.samples))
+		y := make([]float64, len(rs.samples))
+		for i, s := range rs.samples {
+			x[i], y[i] = s.x, s.y
+		}
+		f, err := dtree.TrainForest(x, y, dtree.ForestOptions{
+			Trees:          evalForestTrees,
+			MinSamplesLeaf: evalMinSamplesLeaf,
+			Seed:           dtree.SubSeed(genSeed, ai),
+			Workers:        h.workers,
+		})
+		if err != nil {
+			// Training can only fail on an empty set, which the size guard
+			// excludes; keep the previous forest if it somehow does.
+			continue
+		}
+		rs.forest = f
+		total += int64(len(rs.samples))
+	}
+	h.gens++
+	h.pendingSinceFit = 0
+	return total
+}
+
+// predictCycles turns the residual forest's log-space mean into a cycle
+// count, clamped into the analytical bracket.
+func predictCycles(b simeng.Bounds, logMean float64) int64 {
+	c := int64(math.Round(float64(b.Lower) * math.Exp(logMean)))
+	if c < b.Lower {
+		c = b.Lower
+	}
+	if c > b.Upper {
+		c = b.Upper
+	}
+	return c
+}
+
+// hybridFeatures builds the residual feature vector of one (configuration,
+// application) pair: the canonical 30 config features plus the bound
+// model's derived features.
+func hybridFeatures(cfgFeatures []float64, bm *simeng.BoundModel, b simeng.Bounds) []float64 {
+	x := make([]float64, 0, len(cfgFeatures)+simeng.NumBoundFeatures)
+	x = append(x, cfgFeatures...)
+	return bm.AppendFeatures(x, b)
+}
+
+// HybridEvaluator routes each evaluation between the analytical fast path
+// and exact simulation. It warms up escalating everything, fits per-app
+// residual forests on the escalated outcomes, and from then on predicts
+// whenever the forest's spread clears the threshold, folding every further
+// escalation back into periodic refreshes.
+//
+// The standalone evaluator refreshes opportunistically (every Refresh
+// escalations), so concurrent callers may observe refreshes at
+// nondeterministic points; the collection engine instead drives the shared
+// routing state at generation barriers, which is what makes a hybrid sweep
+// deterministic at any worker count.
+type HybridEvaluator struct {
+	backend   string
+	maxCycles int64
+	warmup    int
+	refresh   int
+
+	stats *statsCache
+	state *hybridState
+
+	mu        sync.Mutex
+	escalated int
+}
+
+// NewHybridEvaluator builds a hybrid evaluator from opt (zero fields take
+// the documented defaults).
+func NewHybridEvaluator(opt EvalOptions) *HybridEvaluator {
+	warmup := opt.Warmup
+	if warmup <= 0 {
+		warmup = DefaultEvalWarmup
+	}
+	refresh := opt.Refresh
+	if refresh <= 0 {
+		refresh = DefaultEvalRefresh
+	}
+	return &HybridEvaluator{
+		backend:   opt.Backend,
+		maxCycles: opt.MaxCycles,
+		warmup:    warmup,
+		refresh:   refresh,
+		stats:     newStatsCache(),
+		state:     newHybridState(opt.Escalate, opt.Seed, opt.Workers),
+	}
+}
+
+// Evaluate implements Evaluator with confidence-routed prediction.
+func (e *HybridEvaluator) Evaluate(cfg params.Config, w workload.Workload) (Evaluation, error) {
+	st, err := e.stats.get(w, cfg.Core.VectorLength)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	bm, err := simeng.NewBoundModel(cfg.Core, cfg.MemProfile())
+	if err != nil {
+		return Evaluation{}, err
+	}
+	b := bm.Bounds(st)
+	x := hybridFeatures(cfg.Features(), bm, b)
+
+	if mean, std, ok := e.state.decide(w.Name(), x); ok {
+		return Evaluation{
+			Stats:      bm.PredictedStats(st, b, predictCycles(b, mean)),
+			Confidence: spreadConfidence(std),
+			Exact:      false,
+		}, nil
+	}
+
+	exact, err := RunOneOn(e.backend, cfg, w, e.maxCycles)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	lower := b.Lower
+	if lower < 1 {
+		lower = 1
+	}
+	e.mu.Lock()
+	e.escalated++
+	idx := e.escalated
+	e.mu.Unlock()
+	e.state.observe(w.Name(), idx, x, math.Log(float64(exact.Cycles)/float64(lower)))
+	if idx >= e.warmup && e.state.pending() >= e.refresh {
+		e.state.refresh()
+	}
+	return Evaluation{Stats: exact, Confidence: 1, Exact: true}, nil
+}
+
+// pending returns the observation count since the last refresh.
+func (h *hybridState) pending() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.pendingSinceFit
+}

@@ -1,0 +1,374 @@
+package orchestrate
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"armdse/internal/params"
+	"armdse/internal/simeng"
+)
+
+// TestEvaluatorFactoryErrors table-drives every error path of the two
+// by-name factories: both must reject unknown kinds with an error that
+// names the offender and lists the valid kinds.
+func TestEvaluatorFactoryErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		kind    string
+		wantErr bool
+	}{
+		{"empty is exact", "", false},
+		{"exact", EvalExact, false},
+		{"bound", EvalBound, false},
+		{"hybrid", EvalHybrid, false},
+		{"unknown", "oracle", true},
+		{"case sensitive", "Exact", true},
+		{"whitespace", " exact", true},
+		{"backend name is not an evaluator", BackendFlat, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ev, err := NewEvaluator(tc.kind, EvalOptions{})
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("NewEvaluator(%q) accepted", tc.kind)
+				}
+				for _, want := range append(Evaluators(), tc.kind) {
+					if !strings.Contains(err.Error(), want) {
+						t.Errorf("error %q does not mention %q", err, want)
+					}
+				}
+				if ev != nil {
+					t.Errorf("non-nil evaluator alongside error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NewEvaluator(%q): %v", tc.kind, err)
+			}
+			if ev == nil {
+				t.Fatalf("nil evaluator without error")
+			}
+		})
+	}
+}
+
+// TestBackendFactoryErrors table-drives NewBackend's error paths the same
+// way (the evaluator factory mirrors its contract).
+func TestBackendFactoryErrors(t *testing.T) {
+	cfg := params.ThunderX2()
+	cases := []struct {
+		name    string
+		kind    string
+		wantErr bool
+	}{
+		{"empty is sst", "", false},
+		{"sst", BackendSST, false},
+		{"flat", BackendFlat, false},
+		{"proxy", BackendProxy, false},
+		{"unknown", "dram", true},
+		{"case sensitive", "SST", true},
+		{"evaluator name is not a backend", EvalHybrid, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mem, err := NewBackend(tc.kind, cfg)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("NewBackend(%q) accepted", tc.kind)
+				}
+				for _, want := range append(Backends(), tc.kind) {
+					if !strings.Contains(err.Error(), want) {
+						t.Errorf("error %q does not mention %q", err, want)
+					}
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NewBackend(%q): %v", tc.kind, err)
+			}
+			if mem == nil {
+				t.Fatalf("nil backend without error")
+			}
+		})
+	}
+}
+
+func TestEngineRejectsUnknownEval(t *testing.T) {
+	_, err := Collect(context.Background(), Options{
+		Seed: 1, Samples: 1, Suite: tinySuite(), Eval: "oracle",
+	})
+	if err == nil || !strings.Contains(err.Error(), "oracle") {
+		t.Fatalf("unknown evaluator accepted: %v", err)
+	}
+}
+
+func TestExactEvaluatorMatchesRunOne(t *testing.T) {
+	cfg := params.ThunderX2()
+	w := tinySuite()[0]
+	want, err := RunOne(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(EvalExact, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ev.Evaluate(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Exact || got.Confidence != 1 {
+		t.Errorf("exact evaluation flags: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Stats, want) {
+		t.Errorf("exact evaluation stats differ from RunOne:\n got %+v\nwant %+v", got.Stats, want)
+	}
+}
+
+func TestBoundEvaluatorPredicts(t *testing.T) {
+	cfg := params.ThunderX2()
+	w := tinySuite()[0]
+	ev, err := NewEvaluator(EvalBound, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ev.Evaluate(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Exact {
+		t.Error("bound evaluation claims exactness")
+	}
+	if got.Confidence <= 0 || got.Confidence > 1 {
+		t.Errorf("confidence = %g", got.Confidence)
+	}
+	if got.Stats.Cycles <= 0 {
+		t.Errorf("cycles = %d", got.Stats.Cycles)
+	}
+	if sum := got.Stats.Stalls.Total(); sum != got.Stats.Cycles {
+		t.Errorf("stall breakdown sums to %d, cycles %d", sum, got.Stats.Cycles)
+	}
+	// The prediction is the analytical lower bound, so exact simulation can
+	// only be slower.
+	exact, err := RunOne(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Cycles < got.Stats.Cycles {
+		t.Errorf("exact %d below analytical lower bound %d", exact.Cycles, got.Stats.Cycles)
+	}
+}
+
+// rowRecorder captures every emitted row keyed by index.
+type rowRecorder struct {
+	mu   sync.Mutex
+	rows map[int]Row
+}
+
+func newRowRecorder() *rowRecorder { return &rowRecorder{rows: make(map[int]Row)} }
+
+func (r *rowRecorder) Put(row Row) error {
+	r.mu.Lock()
+	r.rows[row.Index] = row
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *rowRecorder) indices() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := make([]int, 0, len(r.rows))
+	for i := range r.rows {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+func TestCollectBoundEval(t *testing.T) {
+	rec := newRowRecorder()
+	res, err := Collect(context.Background(), Options{
+		Seed: 5, Samples: 6, Workers: 3, Suite: tinySuite(),
+		Eval: EvalBound, Sink: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done != 6 {
+		t.Fatalf("done = %d", res.Done)
+	}
+	for _, i := range rec.indices() {
+		row := rec.rows[i]
+		if row.Failed() {
+			t.Fatalf("row %d failed: %v", i, row.Err)
+		}
+		if !row.Predicted {
+			t.Errorf("row %d not marked predicted", i)
+		}
+		if row.Confidence <= 0 || row.Confidence > 1 {
+			t.Errorf("row %d confidence = %g", i, row.Confidence)
+		}
+		for app, cycles := range row.Targets {
+			if cycles <= 0 {
+				t.Errorf("row %d %s cycles = %g", i, app, cycles)
+			}
+			if sum := row.Stalls[app].Total(); float64(sum) != cycles {
+				t.Errorf("row %d %s stall sum %d != cycles %g", i, app, sum, cycles)
+			}
+		}
+	}
+}
+
+// hybridCollect runs a hybrid collection into a row recorder.
+func hybridCollect(t *testing.T, workers int, escalate float64) *rowRecorder {
+	t.Helper()
+	rec := newRowRecorder()
+	_, err := Collect(context.Background(), Options{
+		Seed: 7, Samples: 18, Workers: workers, Suite: tinySuite(),
+		Eval: EvalHybrid, EvalEscalate: escalate, EvalWarmup: 6, EvalRefresh: 4,
+		Sink: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestHybridRoutingDeterminism pins the seam's hardest invariant: with the
+// same seed and thresholds, a hybrid collection makes identical routing
+// decisions and emits identical rows at any worker count — the evaluator
+// analogue of TestWorkerCountInvariance.
+func TestHybridRoutingDeterminism(t *testing.T) {
+	for _, escalate := range []float64{0.05, 0.5} {
+		a := hybridCollect(t, 1, escalate)
+		b := hybridCollect(t, 4, escalate)
+		if len(a.rows) != len(b.rows) {
+			t.Fatalf("escalate %g: row counts differ: %d vs %d", escalate, len(a.rows), len(b.rows))
+		}
+		for _, i := range a.indices() {
+			ra, rb := a.rows[i], b.rows[i]
+			if ra.Predicted != rb.Predicted {
+				t.Errorf("escalate %g: row %d routing differs: 1 worker predicted=%v, 4 workers predicted=%v",
+					escalate, i, ra.Predicted, rb.Predicted)
+				continue
+			}
+			if ra.Confidence != rb.Confidence {
+				t.Errorf("escalate %g: row %d confidence differs: %g vs %g", escalate, i, ra.Confidence, rb.Confidence)
+			}
+			for app, ca := range ra.Targets {
+				if cb := rb.Targets[app]; ca != cb {
+					t.Errorf("escalate %g: row %d %s cycles differ: %g vs %g", escalate, i, app, ca, cb)
+				}
+				if ra.Stalls[app] != rb.Stalls[app] {
+					t.Errorf("escalate %g: row %d %s stalls differ", escalate, i, app)
+				}
+			}
+		}
+	}
+}
+
+// TestHybridEscalatedRowsMatchExact pins the escalation contract: every
+// escalated row of a hybrid collection is byte-identical to the same
+// index's row under the exact evaluator, and the warmup prefix is always
+// escalated.
+func TestHybridEscalatedRowsMatchExact(t *testing.T) {
+	exact := newRowRecorder()
+	if _, err := Collect(context.Background(), Options{
+		Seed: 7, Samples: 18, Workers: 2, Suite: tinySuite(), Sink: exact,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hybrid := hybridCollect(t, 2, 0.3)
+
+	escalated := 0
+	for _, i := range hybrid.indices() {
+		hr := hybrid.rows[i]
+		if i < 6 && hr.Predicted {
+			t.Errorf("warmup row %d was predicted", i)
+		}
+		if hr.Predicted {
+			continue
+		}
+		escalated++
+		er, ok := exact.rows[i]
+		if !ok {
+			t.Fatalf("no exact row %d", i)
+		}
+		for app, want := range er.Targets {
+			if got := hr.Targets[app]; got != want {
+				t.Errorf("escalated row %d %s: hybrid %g != exact %g", i, app, got, want)
+			}
+			if hr.Stalls[app] != er.Stalls[app] {
+				t.Errorf("escalated row %d %s stalls differ", i, app)
+			}
+		}
+		if hr.Cycles != er.Cycles || hr.Confidence != 0 {
+			t.Errorf("escalated row %d: cycles %d vs %d, confidence %g", i, hr.Cycles, er.Cycles, hr.Confidence)
+		}
+	}
+	if escalated < 6 {
+		t.Errorf("only %d rows escalated, expected at least the 6-row warmup", escalated)
+	}
+	// Predicted rows must stay inside the analytical bracket of their
+	// configuration.
+	for _, i := range hybrid.indices() {
+		hr := hybrid.rows[i]
+		if !hr.Predicted {
+			continue
+		}
+		cfg := hr.Config
+		bm, err := simeng.NewBoundModel(cfg.Core, cfg.MemProfile())
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		for _, w := range tinySuite() {
+			prog, err := w.Program(cfg.Core.VectorLength)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := bm.Bounds(prog.Stats())
+			got := hr.Targets[w.Name()]
+			if got < float64(b.Lower) || got > float64(b.Upper) {
+				t.Errorf("predicted row %d %s: %g outside [%d, %d]", i, w.Name(), got, b.Lower, b.Upper)
+			}
+		}
+	}
+}
+
+// TestHybridStandaloneEvaluator exercises the Evaluator-interface face of
+// the hybrid: warmup evaluations are exact, and once the residual forest
+// fits, confident points answer without simulation.
+func TestHybridStandaloneEvaluator(t *testing.T) {
+	w := tinySuite()[0]
+	ev := NewHybridEvaluator(EvalOptions{Seed: 3, Warmup: 4, Refresh: 4, Escalate: 5})
+	for i := 0; i < 8; i++ {
+		got, err := ev.Evaluate(params.ConfigAt(3, i), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 4 && !got.Exact {
+			t.Errorf("warmup evaluation %d not exact", i)
+		}
+	}
+	// With an absurdly generous threshold the fitted forest must now answer
+	// a fresh point without simulation.
+	got, err := ev.Evaluate(params.ConfigAt(3, 100), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Exact {
+		t.Error("post-warmup evaluation escalated despite threshold 5")
+	}
+	if got.Confidence <= 0 || got.Confidence > 1 || got.Stats.Cycles <= 0 {
+		t.Errorf("predicted evaluation: %+v", got)
+	}
+	if math.IsNaN(float64(got.Stats.Cycles)) {
+		t.Error("NaN cycles")
+	}
+}

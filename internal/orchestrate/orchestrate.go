@@ -36,6 +36,19 @@ type Options struct {
 	// Backend selects the memory backend by name (BackendSST, BackendFlat,
 	// BackendProxy); empty uses BackendSST, the study's default.
 	Backend string
+	// Eval selects the per-config evaluator by name (EvalExact, EvalBound,
+	// EvalHybrid); empty uses EvalExact. See Engine.Eval — exact runs are
+	// byte-identical to pre-seam collections.
+	Eval string
+	// EvalEscalate is the hybrid evaluator's escalation threshold on the
+	// residual forest's log-space spread; 0 uses DefaultEvalEscalate.
+	EvalEscalate float64
+	// EvalWarmup is the hybrid's always-escalated warmup length in
+	// configurations; 0 uses DefaultEvalWarmup.
+	EvalWarmup int
+	// EvalRefresh is the hybrid's generation size after warmup; 0 uses
+	// DefaultEvalRefresh.
+	EvalRefresh int
 	// MaxCyclesPerRun aborts pathological runs; 0 uses the engine default.
 	MaxCyclesPerRun int64
 	// Validate runs each workload's functional validation before
@@ -147,6 +160,11 @@ func Collect(ctx context.Context, opt Options) (Result, error) {
 		Suite:           suite,
 		Sink:            sink,
 		Backend:         opt.Backend,
+		Eval:            opt.Eval,
+		EvalEscalate:    opt.EvalEscalate,
+		EvalWarmup:      opt.EvalWarmup,
+		EvalRefresh:     opt.EvalRefresh,
+		Seed:            opt.Seed,
 		Workers:         opt.Workers,
 		MaxCyclesPerRun: opt.MaxCyclesPerRun,
 		ShardIndex:      opt.ShardIndex,

@@ -60,6 +60,12 @@ type Telemetry struct {
 	gRPS     *obs.Gauge
 	gCycles  *obs.Gauge
 
+	// Evaluator-seam handles, bound only for non-exact runs (bindEval).
+	evalPredicted *obs.Counter
+	evalEscalated *obs.Counter
+	evalRefreshes *obs.Counter
+	evalTrainRows *obs.Gauge
+
 	scratch []workerScratch
 
 	total                  int
@@ -96,6 +102,10 @@ type workerScratch struct {
 	n    int
 	apps []appRunRecord
 	done atomic.Int64
+	// eval stages the config's routing decision for the journal record:
+	// 0 = exact run (no field emitted), 1 = predicted, 2 = escalated.
+	eval       int8
+	confidence float64
 }
 
 // appRunRecord is one (config, app) run outcome staged for the journal.
@@ -213,12 +223,54 @@ func (t *Telemetry) bind(suite []workload.Workload, workers, total, shardIndex, 
 	t.mu.Unlock()
 }
 
+// bindEval creates the evaluator-seam handles for a non-exact run. Called
+// by Engine.Run after bind; exact runs register nothing, keeping their
+// metric surface identical to pre-seam engines.
+func (t *Telemetry) bindEval(kind string) {
+	if t == nil || kind == "" || kind == EvalExact {
+		return
+	}
+	r := t.reg
+	t.evalPredicted = r.Counter("armdse_eval_predicted_total", "Configurations answered by the analytical/learned fast path.")
+	t.evalEscalated = r.Counter("armdse_eval_escalated_total", "Configurations escalated to exact simulation by the hybrid router.")
+	t.evalRefreshes = r.Counter("armdse_eval_refreshes_total", "Residual-forest refreshes at hybrid generation barriers.")
+	t.evalTrainRows = r.Gauge("armdse_eval_residual_rows", "Training observations fitted at the latest residual refresh.")
+}
+
+// evalDecision records one configuration's routing outcome (predicted vs
+// escalated) and stages it for the journal record. Must be called after
+// beginConfig's reset — i.e. after the chosen run path has staged its apps.
+func (t *Telemetry) evalDecision(worker int, predicted bool, confidence float64) {
+	if t == nil {
+		return
+	}
+	s := &t.scratch[worker]
+	if predicted {
+		t.evalPredicted.Inc(worker)
+		s.eval, s.confidence = 1, confidence
+	} else {
+		t.evalEscalated.Inc(worker)
+		s.eval, s.confidence = 2, 0
+	}
+}
+
+// evalRefresh records one hybrid residual refresh and the size of the
+// training set it fitted.
+func (t *Telemetry) evalRefresh(trainRows int64) {
+	if t == nil {
+		return
+	}
+	t.evalRefreshes.Inc(0)
+	t.evalTrainRows.SetInt(trainRows)
+}
+
 // beginConfig resets the worker's per-config staging area.
 func (t *Telemetry) beginConfig(worker int) {
 	if t == nil {
 		return
 	}
 	t.scratch[worker].n = 0
+	t.scratch[worker].eval = 0
 }
 
 // appRun records one (config, app) simulation outcome: counters, histograms,
@@ -446,6 +498,13 @@ func appendConfigRecord(b []byte, appNames []string, s *workerScratch, row *Row,
 	if row.Err != nil {
 		b = append(b, `,"err":`...)
 		b = appendJSONString(b, row.Err.Error())
+	}
+	switch s.eval {
+	case 1:
+		b = append(b, `,"eval":"predicted","confidence":`...)
+		b = appendFloat(b, s.confidence)
+	case 2:
+		b = append(b, `,"eval":"escalated"`...)
 	}
 	b = append(b, `,"apps":[`...)
 	for i := 0; i < s.n; i++ {

@@ -197,6 +197,22 @@ func FromFeatures(f []float64) (Config, error) {
 	return c, nil
 }
 
+// MemProfile flattens the memory half of the configuration into the
+// backend-neutral timing summary the analytical bound model consumes, with
+// all latencies pre-scaled to core cycles exactly as the sst hierarchy
+// charges them.
+func (c Config) MemProfile() simeng.MemProfile {
+	return simeng.MemProfile{
+		LineBytes:   c.Mem.CacheLineWidth,
+		L1Bytes:     int64(c.Mem.L1DSize),
+		L2Bytes:     int64(c.Mem.L2Size),
+		L1Latency:   c.Mem.L1LatencyCore(),
+		L2Latency:   c.Mem.L2LatencyCore(),
+		RAMLatency:  c.Mem.RAMLatencyCore(),
+		RAMInterval: c.Mem.RAMIntervalCore(),
+	}
+}
+
 // ThunderX2 returns the fixed baseline design-space point: the SimEng-style
 // Marvell ThunderX2 core with the published cache/memory figures used in the
 // paper's Table I validation.

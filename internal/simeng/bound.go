@@ -1,0 +1,353 @@
+package simeng
+
+import (
+	"fmt"
+	"math"
+
+	"armdse/internal/isa"
+)
+
+// Analytical cycle bounds. BoundModel computes roofline-style lower and
+// upper bounds on a run's cycle count from a configuration plus the
+// configuration-independent stream statistics of the workload
+// (isa.StreamStats) — no simulation. Each lower-bound term is a resource
+// that must process the whole stream at a bounded rate (commit width,
+// frontend width, dispatch rate, execution ports, LSQ completion, core-L1
+// byte bandwidth, per-cycle request budgets, RAM line bandwidth); the run
+// can never finish before the slowest of them. The upper bound is a
+// deliberately loose serial schedule. The bounds describe the sst memory
+// backend (write-allocate caches in front of a bandwidth-paced RAM); for
+// other backends they are model features, not guarantees — the golden
+// bracket fixture pins them against exact sst simulation.
+
+// MemProfile is the backend-neutral memory timing summary the bound model
+// consumes: capacities plus per-level latencies already scaled to core
+// cycles. params.Config.MemProfile derives one from an sstmem.Config; the
+// indirection keeps simeng free of a dependency on the memory package.
+type MemProfile struct {
+	// LineBytes is the cache line width at every level.
+	LineBytes int
+	// L1Bytes and L2Bytes are the cache capacities.
+	L1Bytes int64
+	L2Bytes int64
+	// L1Latency, L2Latency and RAMLatency are hit/access latencies in
+	// core cycles.
+	L1Latency  int64
+	L2Latency  int64
+	RAMLatency int64
+	// RAMInterval is the core-cycle spacing between successive RAM
+	// request starts (the 64-byte-reference bandwidth pacing of the sst
+	// hierarchy).
+	RAMInterval float64
+}
+
+// BoundTerms are the individual lower-bound terms in core cycles; Lower is
+// their maximum. Each is exported so the hybrid evaluator can feed
+// term-dominance ratios to the residual model and so reports can name the
+// binding resource.
+type BoundTerms struct {
+	// Retire: instructions / commit width.
+	Retire int64
+	// Frontend: instructions / frontend width.
+	Frontend int64
+	// Dispatch: instructions / dispatch rate into the RS.
+	Dispatch int64
+	// Port: the tightest execution-port class bound — for each set of
+	// groups accepted by an identical port set, occupied port-cycles
+	// divided by the number of ports.
+	Port int64
+	// LSQ: memory instructions / LSQ completion width.
+	LSQ int64
+	// LoadBW and StoreBW: bytes moved / core-L1 bandwidth per kind.
+	LoadBW  int64
+	StoreBW int64
+	// MemReq: memory instructions / per-cycle request budgets (the
+	// tightest of the total, load and store budgets). The budgets are
+	// charged per memory instruction, not per line — matching the LSQ,
+	// where only byte bandwidth meters a wide vector's individual lines.
+	MemReq int64
+	// RAMBW: compulsory RAM traffic — distinct lines touched, spaced by
+	// the RAM request interval, plus one access latency.
+	RAMBW int64
+}
+
+// Bounds is the analytical result for one (configuration, stream) pair.
+type Bounds struct {
+	// Lower is the roofline bound: the maximum of all terms. It is also
+	// the model's cycle estimate — the run cannot be faster, and on
+	// streams dominated by one resource it is usually close.
+	Lower int64
+	// Upper is a loose serial-schedule bound: every instruction executes
+	// serially and every line request pays the full hierarchy round trip
+	// with bandwidth pacing.
+	Upper int64
+	// Terms holds the individual lower-bound terms.
+	Terms BoundTerms
+	// FootprintBytes is the distinct-line footprint at the configured
+	// line width.
+	FootprintBytes int64
+}
+
+// NumBoundFeatures is the length of the residual-feature vector
+// AppendFeatures emits.
+const NumBoundFeatures = 14
+
+// fetchRedirectPenalty is the serial-schedule charge per taken branch in
+// the upper bound (fetch redirect plus refill slack).
+const fetchRedirectPenalty = 8
+
+// upperSlack absorbs fixed costs of the serial schedule (pipeline fill and
+// drain) in the upper bound.
+const upperSlack = 64
+
+// portClass is one set of execution groups accepted by an identical set of
+// ports; work confined to nPorts ports bounds cycles from below.
+type portClass struct {
+	groups isa.GroupSet
+	nPorts int64
+}
+
+// BoundModel evaluates analytical cycle bounds for one configuration
+// against any number of streams' statistics.
+type BoundModel struct {
+	cfg      Config
+	mem      MemProfile
+	widthIdx int
+	classes  []portClass
+}
+
+// NewBoundModel builds a bound model for the configuration. The stream
+// statistics passed to Bounds must come from the stream the configuration
+// would run, i.e. the one at cfg.VectorLength.
+func NewBoundModel(cfg Config, mem MemProfile) (*BoundModel, error) {
+	k := isa.LineWidthIndex(mem.LineBytes)
+	if k < 0 {
+		return nil, fmt.Errorf("simeng: bound model line width %d outside the design space", mem.LineBytes)
+	}
+	if mem.L1Latency < 1 || mem.L2Latency < 1 || mem.RAMLatency < 1 || mem.RAMInterval < 0 {
+		return nil, fmt.Errorf("simeng: bound model memory profile %+v has non-positive latency", mem)
+	}
+	m := &BoundModel{cfg: cfg, mem: mem, widthIdx: k}
+
+	// Partition groups into classes by accepting-port set: instructions of
+	// a class can execute nowhere else, so class work / class ports is a
+	// valid lower bound per class.
+	ports := cfg.EffectivePorts()
+	byMask := make(map[uint64]int)
+	for g := isa.Group(0); g < isa.NumGroups; g++ {
+		var mask uint64
+		for pi, p := range ports {
+			if p.Accept.Has(g) {
+				mask |= 1 << uint(pi)
+			}
+		}
+		if mask == 0 {
+			continue
+		}
+		ci, ok := byMask[mask]
+		if !ok {
+			ci = len(m.classes)
+			byMask[mask] = ci
+			m.classes = append(m.classes, portClass{nPorts: int64(popcount64(mask))})
+		}
+		m.classes[ci].groups |= 1 << g
+	}
+	return m, nil
+}
+
+// Config returns the configuration the model was built for.
+func (m *BoundModel) Config() Config { return m.cfg }
+
+// Mem returns the memory profile the model was built for.
+func (m *BoundModel) Mem() MemProfile { return m.mem }
+
+// Bounds computes the cycle bounds for one stream's statistics.
+func (m *BoundModel) Bounds(st isa.StreamStats) Bounds {
+	c := &m.cfg
+	k := m.widthIdx
+	var t BoundTerms
+
+	t.Retire = ceilDiv(st.Insts, int64(c.CommitWidth))
+	t.Frontend = ceilDiv(st.Insts, int64(c.FrontendWidth))
+	t.Dispatch = ceilDiv(st.Insts, int64(isa.DispatchRate))
+
+	for _, cl := range m.classes {
+		var work int64
+		for g := isa.Group(0); g < isa.NumGroups; g++ {
+			if !cl.groups.Has(g) || st.Groups[g] == 0 {
+				continue
+			}
+			occ := int64(1)
+			if !g.Pipelined() {
+				occ = int64(g.Latency())
+			}
+			work += st.Groups[g] * occ
+		}
+		if b := ceilDiv(work, cl.nPorts); b > t.Port {
+			t.Port = b
+		}
+	}
+
+	memInsts := st.Groups[isa.Load] + st.Groups[isa.Store]
+	t.LSQ = ceilDiv(memInsts, int64(c.LSQCompletionWidth))
+	t.LoadBW = ceilDiv(st.LoadBytes, int64(c.LoadBandwidth))
+	t.StoreBW = ceilDiv(st.StoreBytes, int64(c.StoreBandwidth))
+
+	t.MemReq = ceilDiv(memInsts, int64(c.MemRequestsPerCycle))
+	if b := ceilDiv(st.Groups[isa.Load], int64(c.MemLoadsPerCycle)); b > t.MemReq {
+		t.MemReq = b
+	}
+	if b := ceilDiv(st.Groups[isa.Store], int64(c.MemStoresPerCycle)); b > t.MemReq {
+		t.MemReq = b
+	}
+
+	if n := st.UniqueLines[k]; n > 0 {
+		// Every distinct line is a compulsory miss fetched over the paced
+		// RAM channel at least once, and the last must still complete. The
+		// hierarchy re-bases its pacing clock on the integer request-start
+		// cycle, so back-to-back requests are spaced floor(RAMInterval)
+		// cycles apart — the bound must use the floored spacing or it
+		// overshoots real runs whenever the interval is fractional.
+		t.RAMBW = (n-1)*int64(m.mem.RAMInterval) + m.mem.RAMLatency
+	}
+
+	lower := t.Retire
+	for _, b := range []int64{t.Frontend, t.Dispatch, t.Port, t.LSQ, t.LoadBW, t.StoreBW, t.MemReq, t.RAMBW} {
+		if b > lower {
+			lower = b
+		}
+	}
+
+	// Serial schedule: each instruction pays its execution latency with no
+	// overlap plus one pipeline slot; each taken branch a fetch redirect;
+	// each line request a full L1+L2+RAM round trip plus two bandwidth
+	// slots (demand plus worst-case prefetch/writeback companion traffic).
+	var serial int64
+	for g := isa.Group(0); g < isa.NumGroups; g++ {
+		if st.Groups[g] != 0 {
+			serial += st.Groups[g] * int64(g.Latency())
+		}
+	}
+	serial += st.Insts
+	serial += st.TakenBranches * fetchRedirectPenalty
+	perReq := m.mem.L1Latency + m.mem.L2Latency + m.mem.RAMLatency
+	serial += st.LineRequests[k] * perReq
+	serial += int64(math.Ceil(float64(2*st.LineRequests[k]) * m.mem.RAMInterval))
+	serial += upperSlack
+	if serial < lower {
+		serial = lower
+	}
+
+	return Bounds{
+		Lower:          lower,
+		Upper:          serial,
+		Terms:          t,
+		FootprintBytes: st.FootprintBytes(m.mem.LineBytes),
+	}
+}
+
+// AppendFeatures appends the residual-model feature vector derived from b:
+// bound magnitudes on a log scale, per-term dominance ratios, and
+// cache-residency ratios. Exactly NumBoundFeatures values are appended.
+func (m *BoundModel) AppendFeatures(dst []float64, b Bounds) []float64 {
+	lower := float64(b.Lower)
+	if lower < 1 {
+		lower = 1
+	}
+	upper := float64(b.Upper)
+	if upper < lower {
+		upper = lower
+	}
+	ratio := func(v int64) float64 { return float64(v) / lower }
+	dst = append(dst,
+		math.Log(lower),
+		math.Log(upper/lower),
+		ratio(b.Terms.Retire),
+		ratio(b.Terms.Frontend),
+		ratio(b.Terms.Dispatch),
+		ratio(b.Terms.Port),
+		ratio(b.Terms.LSQ),
+		ratio(b.Terms.LoadBW),
+		ratio(b.Terms.StoreBW),
+		ratio(b.Terms.MemReq),
+		ratio(b.Terms.RAMBW),
+		float64(b.FootprintBytes)/float64(m.mem.L1Bytes),
+		float64(b.FootprintBytes)/float64(m.mem.L2Bytes),
+		math.Log(float64(m.mem.RAMLatency)+m.mem.RAMInterval),
+	)
+	return dst
+}
+
+// PredictedStats synthesises a Stats record for a predicted (not simulated)
+// run of cycles total cycles: the architectural counts come exactly from
+// the stream statistics, and the stall breakdown is a deterministic
+// two-class attribution — retire-bound cycles are Busy and the remainder is
+// charged to the class of the dominant non-retire bound term — preserving
+// the taxonomy invariant that the breakdown sums exactly to Cycles.
+func (m *BoundModel) PredictedStats(st isa.StreamStats, b Bounds, cycles int64) Stats {
+	if cycles < 1 {
+		cycles = 1
+	}
+	s := Stats{
+		Cycles:      cycles,
+		Retired:     st.Insts,
+		SVERetired:  st.SVE,
+		Loads:       st.Groups[isa.Load],
+		Stores:      st.Groups[isa.Store],
+		Branches:    st.Groups[isa.Branch],
+		Fetched:     st.Insts,
+		MemRequests: st.LineRequests[m.widthIdx],
+	}
+	busy := b.Terms.Retire
+	if busy > cycles {
+		busy = cycles
+	}
+	s.Stalls[StallBusy] = busy
+	if rest := cycles - busy; rest > 0 {
+		s.Stalls[m.dominantStallClass(b)] += rest
+	}
+	return s
+}
+
+// dominantStallClass maps the largest non-retire bound term to the stall
+// class exact simulation would most plausibly charge.
+func (m *BoundModel) dominantStallClass(b Bounds) StallClass {
+	t := &b.Terms
+	best, class := int64(-1), StallExec
+	for _, c := range []struct {
+		v  int64
+		sc StallClass
+	}{
+		{t.Frontend, StallFrontend},
+		{t.Dispatch, StallFrontend},
+		{t.Port, StallPortConflict},
+		{t.LSQ, StallMemBandwidth},
+		{t.LoadBW, StallMemBandwidth},
+		{t.StoreBW, StallMemBandwidth},
+		{t.MemReq, StallMemBandwidth},
+		{t.RAMBW, StallMemLatency},
+	} {
+		if c.v > best {
+			best, class = c.v, c.sc
+		}
+	}
+	return class
+}
+
+// ceilDiv returns ceil(a/b) for non-negative a and positive b; zero when b
+// is not positive (a disabled resource imposes no bound).
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// popcount64 counts set bits.
+func popcount64(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

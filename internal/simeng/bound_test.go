@@ -1,0 +1,173 @@
+package simeng_test
+
+import (
+	"math"
+	"testing"
+
+	"armdse/internal/isa"
+	"armdse/internal/params"
+	"armdse/internal/simeng"
+	"armdse/internal/sstmem"
+	"armdse/internal/workload"
+)
+
+func tx2BoundModel(t *testing.T) *simeng.BoundModel {
+	t.Helper()
+	cfg := params.ThunderX2()
+	m, err := simeng.NewBoundModel(cfg.Core, cfg.MemProfile())
+	if err != nil {
+		t.Fatalf("NewBoundModel: %v", err)
+	}
+	return m
+}
+
+func TestNewBoundModelRejectsBadProfile(t *testing.T) {
+	cfg := params.ThunderX2()
+	bad := cfg.MemProfile()
+	bad.LineBytes = 48
+	if _, err := simeng.NewBoundModel(cfg.Core, bad); err == nil {
+		t.Errorf("line width 48 accepted, want error")
+	}
+	bad = cfg.MemProfile()
+	bad.RAMLatency = 0
+	if _, err := simeng.NewBoundModel(cfg.Core, bad); err == nil {
+		t.Errorf("zero RAM latency accepted, want error")
+	}
+}
+
+// TestBoundTermsHandStream checks the individual roofline terms against a
+// hand-computed trace.
+func TestBoundTermsHandStream(t *testing.T) {
+	m := tx2BoundModel(t) // commit 4, frontend 4, lsq 2, loadBW 32, storeBW 16, req 3/2/1, line 64
+
+	// 8 ALU + 4 loads of 64B (distinct lines) + 2 stores of 16B (one line).
+	insts := make([]isa.Inst, 0, 14)
+	for i := 0; i < 8; i++ {
+		insts = append(insts, isa.Inst{Op: isa.IntALU})
+	}
+	for i := 0; i < 4; i++ {
+		insts = append(insts, isa.Inst{Op: isa.Load, Mem: isa.MemRef{Addr: uint64(0x10000 + 64*i), Bytes: 64}})
+	}
+	for i := 0; i < 2; i++ {
+		insts = append(insts, isa.Inst{Op: isa.Store, Mem: isa.MemRef{Addr: uint64(0x20000 + 16*i), Bytes: 16}})
+	}
+	st := isa.CollectStreamStats(isa.NewSliceStream(insts))
+	b := m.Bounds(st)
+
+	if want := int64(4); b.Terms.Retire != want { // ceil(14/4)
+		t.Errorf("Retire = %d, want %d", b.Terms.Retire, want)
+	}
+	if want := int64(4); b.Terms.Frontend != want {
+		t.Errorf("Frontend = %d, want %d", b.Terms.Frontend, want)
+	}
+	if want := int64(3); b.Terms.LSQ != want { // ceil(6/2)
+		t.Errorf("LSQ = %d, want %d", b.Terms.LSQ, want)
+	}
+	if want := int64(8); b.Terms.LoadBW != want { // ceil(256/32)
+		t.Errorf("LoadBW = %d, want %d", b.Terms.LoadBW, want)
+	}
+	if want := int64(2); b.Terms.StoreBW != want { // ceil(32/16)
+		t.Errorf("StoreBW = %d, want %d", b.Terms.StoreBW, want)
+	}
+	// Per-instruction request budgets: 6 mem insts, 4 loads, 2 stores →
+	// max(ceil(6/3), ceil(4/2), ceil(2/1)) = 2.
+	if want := int64(2); b.Terms.MemReq != want {
+		t.Errorf("MemReq = %d, want %d", b.Terms.MemReq, want)
+	}
+	// Port classes: 6 mem insts on 3 LS ports = 2; 8 ALU on 3 M ports = 3.
+	if want := int64(3); b.Terms.Port != want {
+		t.Errorf("Port = %d, want %d", b.Terms.Port, want)
+	}
+	// Unique 64B lines: 4 load lines + 1 store line = 5.
+	// RAMBW = ceil(4×interval) + ramLat; interval = 64/(16/2.5) = 10,
+	// ramLat = 110×2.5 = 275 → 315.
+	if want := int64(315); b.Terms.RAMBW != want {
+		t.Errorf("RAMBW = %d, want %d", b.Terms.RAMBW, want)
+	}
+	if b.Lower != 315 {
+		t.Errorf("Lower = %d, want 315 (RAM bandwidth binding)", b.Lower)
+	}
+	if b.Upper < b.Lower {
+		t.Errorf("Upper %d < Lower %d", b.Upper, b.Lower)
+	}
+	if want := int64(5 * 64); b.FootprintBytes != want {
+		t.Errorf("FootprintBytes = %d, want %d", b.FootprintBytes, want)
+	}
+}
+
+func TestBoundFeaturesAndPredictedStats(t *testing.T) {
+	m := tx2BoundModel(t)
+	insts := []isa.Inst{
+		{Op: isa.Load, Mem: isa.MemRef{Addr: 0x1000, Bytes: 64}},
+		{Op: isa.SVEFMA, SVE: true},
+		{Op: isa.Branch, Branch: isa.BranchInfo{Taken: true}},
+	}
+	st := isa.CollectStreamStats(isa.NewSliceStream(insts))
+	b := m.Bounds(st)
+
+	feats := m.AppendFeatures(nil, b)
+	if len(feats) != simeng.NumBoundFeatures {
+		t.Fatalf("AppendFeatures emitted %d values, want %d", len(feats), simeng.NumBoundFeatures)
+	}
+	for i, f := range feats {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Errorf("feature %d is %v", i, f)
+		}
+	}
+
+	const cycles = 1000
+	s := m.PredictedStats(st, b, cycles)
+	if s.Cycles != cycles || s.Retired != 3 || s.SVERetired != 1 ||
+		s.Loads != 1 || s.Stores != 0 || s.Branches != 1 {
+		t.Errorf("predicted stats counts wrong: %+v", s)
+	}
+	if got := s.Stalls.Total(); got != cycles {
+		t.Errorf("stall breakdown sums to %d, want %d", got, cycles)
+	}
+	if s.Stalls[simeng.StallBusy] != b.Terms.Retire {
+		t.Errorf("busy = %d, want retire term %d", s.Stalls[simeng.StallBusy], b.Terms.Retire)
+	}
+}
+
+// TestBoundsBracketGoldenCycles is the bracket fixture of the evaluator
+// seam: on every run of the golden 24-run harness (six pinned configs × the
+// four test workloads, exact sst simulation) the analytical bounds must
+// satisfy Lower ≤ Cycles ≤ Upper.
+func TestBoundsBracketGoldenCycles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the golden matrix")
+	}
+	for name, cfg := range goldenConfigs() {
+		m, err := simeng.NewBoundModel(cfg.Core, cfg.MemProfile())
+		if err != nil {
+			t.Fatalf("%s: NewBoundModel: %v", name, err)
+		}
+		for _, w := range workload.TestSuite() {
+			prog, err := w.Program(cfg.Core.VectorLength)
+			if err != nil {
+				t.Fatalf("%s/%s: program: %v", name, w.Name(), err)
+			}
+			h, err := sstmem.New(cfg.Mem)
+			if err != nil {
+				t.Fatalf("%s: hierarchy: %v", name, err)
+			}
+			c, err := simeng.New(cfg.Core, h)
+			if err != nil {
+				t.Fatalf("%s: core: %v", name, err)
+			}
+			exact, err := c.Run(prog.Stream())
+			if err != nil {
+				t.Fatalf("%s/%s: run: %v", name, w.Name(), err)
+			}
+			b := m.Bounds(prog.Stats())
+			if exact.Cycles < b.Lower || exact.Cycles > b.Upper {
+				t.Errorf("%s/%s: exact cycles %d outside bounds [%d, %d]",
+					name, w.Name(), exact.Cycles, b.Lower, b.Upper)
+			} else {
+				t.Logf("%s/%s: %d in [%d, %d] (lower gap %.2fx)",
+					name, w.Name(), exact.Cycles, b.Lower, b.Upper,
+					float64(exact.Cycles)/float64(b.Lower))
+			}
+		}
+	}
+}

@@ -131,6 +131,20 @@ func (c Config) l2LatencyCore() int64 {
 	return scaleLatency(c.L2Latency, c.CoreClockGHz, c.L2ClockGHz)
 }
 
+// L2LatencyCore returns the L2 hit latency scaled to core cycles, as the
+// hierarchy charges it. Exported for analytical models of this backend.
+func (c Config) L2LatencyCore() int64 { return c.l2LatencyCore() }
+
+// RAMLatencyCore returns the RAM access latency scaled to core cycles, as
+// the hierarchy charges it.
+func (c Config) RAMLatencyCore() int64 { return c.ramLatencyCore() }
+
+// RAMIntervalCore returns the core-cycle spacing between successive RAM
+// request starts: the channel sustains RAMBandwidthGBs of reference 64-byte
+// requests, independent of line width (wider lines deliver more data per
+// slot). Matches the hierarchy's internal pacing exactly.
+func (c Config) RAMIntervalCore() float64 { return ramRefBytes / c.ramBytesPerCycle() }
+
 // ramLatencyCore returns the RAM latency in core cycles.
 func (c Config) ramLatencyCore() int64 {
 	v := int64(c.RAMLatencyNs * c.CoreClockGHz)

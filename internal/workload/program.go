@@ -96,6 +96,15 @@ func (p *Program) DynamicInsts() int64 {
 // Stream returns a fresh instruction stream over the program.
 func (p *Program) Stream() isa.Stream { return &progStream{prog: p} }
 
+// Stats summarises the program's full dynamic stream for analytical models.
+// The walk is a full trace expansion (same cost as one Materialize pass);
+// callers that evaluate many configurations against one program should cache
+// the result per (application, vector length) — the orchestrate program
+// cache does exactly that.
+func (p *Program) Stats() isa.StreamStats {
+	return isa.CollectStreamStats(p.Stream())
+}
+
 // DefaultMaterializeLimit is the largest dynamic instruction count Materialize
 // will expand by default: ~88 MB of arena at 88 bytes per instruction. The
 // full paper-scale programs (tens of millions of instructions) stay on the

@@ -11,14 +11,46 @@
 # externally, e.g. by timing `dsegen -samples 200` before and after a
 # change) when SWEEP_BASE_MS and SWEEP_NEW_MS are set:
 #   SWEEP_BASE_MS=16500 SWEEP_NEW_MS=10900 SWEEP_DESC="..." scripts/bench.sh
+#
+# Also runs a hybrid-vs-exact evaluator sweep (same configs with -eval
+# hybrid and the default exact evaluator) and records speedup, escalation
+# rate and predicted-row MAPE under "eval_sweep". eval_compare.py aborts —
+# failing this script — if any escalated row differs from the exact run's,
+# so the sweep doubles as the escalation-contract check. EVAL_SWEEP=0
+# skips it; EVAL_SAMPLES (default 200) sizes it. EVAL_ESCALATE sets the
+# hybrid's escalation threshold: the benchmark's point of interest is the
+# fast path, so it defaults to 1.0 (predict whenever the forest agrees to
+# within e^1.0) rather than the binary's conservative default, and the
+# report records the threshold it measured.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-5x}"
 OUT="${OUT:-BENCH_simeng.json}"
+EVAL_SWEEP="${EVAL_SWEEP:-1}"
+EVAL_SAMPLES="${EVAL_SAMPLES:-200}"
+EVAL_SEED="${EVAL_SEED:-11}"
+EVAL_ESCALATE="${EVAL_ESCALATE:-1.0}"
 PKGS=(./internal/simeng ./internal/sstmem ./internal/orchestrate)
 
 raw=$(go test -run '^$' -bench . -benchtime "$BENCHTIME" "${PKGS[@]}")
+
+eval_json=""
+if [[ "$EVAL_SWEEP" == "1" ]]; then
+	tmp=$(mktemp -d)
+	trap 'rm -rf "$tmp"' EXIT
+	go build -o "$tmp/dsegen" ./cmd/dsegen
+	t0=$(date +%s%3N)
+	"$tmp/dsegen" -samples "$EVAL_SAMPLES" -seed "$EVAL_SEED" -out "$tmp/exact.csv" -q
+	t1=$(date +%s%3N)
+	"$tmp/dsegen" -samples "$EVAL_SAMPLES" -seed "$EVAL_SEED" -out "$tmp/hybrid.csv" \
+		-eval hybrid -eval-escalate "$EVAL_ESCALATE" -q
+	t2=$(date +%s%3N)
+	eval_json=$(python3 scripts/eval_compare.py \
+		"$tmp/exact.csv.runlog.jsonl" "$tmp/hybrid.csv.runlog.jsonl" \
+		--exact-ms "$((t1 - t0))" --hybrid-ms "$((t2 - t1))" \
+		--escalate-threshold "$EVAL_ESCALATE")
+fi
 
 {
 	printf '{\n'
@@ -31,6 +63,9 @@ raw=$(go test -run '^$' -bench . -benchtime "$BENCHTIME" "${PKGS[@]}")
 		awk -v b="$SWEEP_BASE_MS" -v n="$SWEEP_NEW_MS" \
 			'BEGIN { printf("    \"speedup\": %.2f\n", b / n) }'
 		printf '  },\n'
+	fi
+	if [[ -n "$eval_json" ]]; then
+		printf '  "eval_sweep": %s,\n' "$(sed '1!s/^/  /' <<<"$eval_json")"
 	fi
 	printf '  "benchmarks": [\n'
 	# Benchmark lines look like:
