@@ -279,6 +279,15 @@ type (
 	// StreamWriter journals completed rows to disk for interruption-safe
 	// streaming collection.
 	StreamWriter = dataset.StreamWriter
+	// BatchSource is the generation-driven configuration seam: the engine
+	// asks it for the next proposal batch, runs the batch to a barrier,
+	// and feeds the completed rows back before asking again
+	// (CollectOptions.Batches). FixedBatches wraps a fixed source as the
+	// degenerate single-batch case; search.Proposer is the adaptive case.
+	BatchSource = orchestrate.BatchSource
+	// FixedBatches adapts a fixed ConfigSource to the batch seam (one
+	// batch holding the whole source).
+	FixedBatches = orchestrate.FixedBatches
 )
 
 // Collect simulates every workload on each of the design space's sampled
@@ -335,6 +344,21 @@ func CompactStream(path string) (*Dataset, int, error) {
 // NewStreamSink adapts a journal writer to the collection engine's sink
 // interface.
 func NewStreamSink(w *StreamWriter) RowSink { return orchestrate.StreamSink{W: w} }
+
+// PriorRowsFromJournal reconstructs the completed rows of an interrupted
+// batch-mode collection from its journal, sorted by index — the
+// CollectOptions.Prior input that lets a resumed adaptive run replay its
+// proposal sequence exactly (combine with Skip from the resumed stream
+// writer's Done set).
+func PriorRowsFromJournal(path string) ([]Row, error) {
+	return orchestrate.PriorRowsFromJournal(path)
+}
+
+// SourceDigest fingerprints a config source's contents (length plus every
+// feature vector), independent of its representation. Stamp it into a
+// journal's meta string so a resume against a different source is rejected
+// instead of silently mixing sampling streams.
+func SourceDigest(s orchestrate.ConfigSource) string { return orchestrate.SourceDigest(s) }
 
 // Telemetry layer types; see internal/obs for the metrics core and
 // internal/orchestrate.Telemetry for the engine-facing hub.

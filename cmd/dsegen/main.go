@@ -24,6 +24,7 @@
 //	dsegen -samples 2000 -seed 1 -out dataset.csv [-workers 16] [-paper]
 //	dsegen -samples 2000 -seed 1 -out dataset.csv -resume
 //	dsegen -samples 180006 -seed 1 -out shard3.csv -shard 3/8
+//	dsegen -seed 1 -out dataset.csv -search ucb -search-budget 500 -search-batch 50
 //	dsegen -samples 2000 -seed 1 -out dataset.csv -http :8080
 //	dsegen -samples 2000 -seed 1 -out dataset.csv -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 package main
@@ -97,13 +98,30 @@ func main() {
 // resume without affecting which rows the journal holds. The evaluator is
 // included only when non-exact, keeping old exact journals resumable, and
 // makes resuming an exact journal under -eval hybrid (or vice versa) an
-// error — that would silently mix simulated and predicted rows.
-func journalMeta(seed int64, samples int, paper bool, eval string) string {
+// error — that would silently mix simulated and predicted rows. An adaptive
+// run additionally stamps its proposer digest (strategy, seed, budget,
+// batch geometry): a proposed-batch journal resumed under different search
+// settings would replay a different proposal sequence, so it is rejected
+// the same way.
+func journalMeta(seed int64, samples int, paper bool, eval, searchDigest string) string {
 	m := fmt.Sprintf("seed=%d samples=%d paper=%t", seed, samples, paper)
 	if eval != "" && eval != armdse.EvalExact {
 		m += " eval=" + eval
 	}
+	if searchDigest != "" {
+		m += " search=" + searchDigest
+	}
 	return m
+}
+
+// batchSource wraps a possibly-nil proposer for the Batches option without
+// producing a non-nil interface around a nil pointer (which would switch
+// the engine into batch mode with no proposer).
+func batchSource(p *armdse.Proposer) armdse.BatchSource {
+	if p == nil {
+		return nil
+	}
+	return p
 }
 
 // parseShard parses "i/n" into (i, n).
@@ -131,6 +149,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		evalEsc  = fs.Float64("eval-escalate", 0, "hybrid escalation threshold on the residual forest's log spread (0 = default)")
 		evalWarm = fs.Int("eval-warmup", 0, "hybrid warmup: leading configs always simulated exactly before the first residual fit (0 = default)")
 		evalRefr = fs.Int("eval-refresh", 0, "hybrid generation size: residual forests retrain every this many configs (0 = default)")
+		srch     = fs.String("search", "", "adaptive proposal strategy: uniform, ucb, ei or phased (\"\" = classic fixed sweep)")
+		srchBud  = fs.Int("search-budget", 0, "adaptive run total config budget (0 = -samples)")
+		srchBat  = fs.Int("search-batch", 0, "adaptive proposal batch size: configs per generation (0 = default 64)")
+		srchPool = fs.Int("search-pool", 0, "adaptive candidate pool per batch (0 = default 8x batch)")
+		srchKap  = fs.Float64("search-kappa", 0, "ucb exploration weight on the forest spread (0 = default 2.0)")
 		quiet    = fs.Bool("q", false, "suppress progress output")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -172,8 +195,39 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	features := armdse.FeatureNames()
 	apps := armdse.SuiteNames(suite)
+
+	// Adaptive mode: a proposer feeds the engine generation-driven batches
+	// instead of a fixed index range.
+	var proposer *armdse.Proposer
+	budget := *samples
+	if *srch != "" {
+		if *shard != "" {
+			return fmt.Errorf("-search and -shard are incompatible: proposal batches depend on every earlier result, so the index space cannot be partitioned across machines")
+		}
+		if *srchBud > 0 {
+			budget = *srchBud
+		}
+		var err error
+		proposer, err = armdse.NewProposer(armdse.ProposeOptions{
+			Strategy: *srch,
+			Seed:     *seed,
+			Budget:   budget,
+			Batch:    *srchBat,
+			Pool:     *srchPool,
+			Kappa:    *srchKap,
+			Workers:  *workers,
+			Apps:     apps,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	searchDigest := ""
+	if proposer != nil {
+		searchDigest = proposer.Digest()
+	}
 	journal := *out + ".journal"
-	meta := journalMeta(*seed, *samples, *paper, *eval)
+	meta := journalMeta(*seed, budget, *paper, *eval, searchDigest)
 
 	aux := armdse.StallColumns(apps)
 
@@ -196,6 +250,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	skip := sw.Done()
 	if *resume && len(skip) > 0 && !*quiet {
 		fmt.Fprintf(stderr, "resuming: %d configs already journaled\n", len(skip))
+	}
+	// Resuming an adaptive run must replay the proposal sequence: the
+	// journaled rows re-enter as Prior (so each generation's proposer sees
+	// exactly what it saw the first time) while Skip prevents re-simulation.
+	var prior []armdse.Row
+	if proposer != nil && *resume && len(skip) > 0 {
+		prior, err = armdse.PriorRowsFromJournal(journal)
+		if err != nil {
+			return err
+		}
 	}
 
 	// Telemetry: a JSONL run journal next to the dataset (default on) and an
@@ -228,6 +292,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			}()
 		}
 		tel = armdse.NewTelemetry(reg, rj)
+		tel.Search = searchDigest
 		if *httpAddr != "" {
 			srv, bound, err := armdse.ServeTelemetry(*httpAddr, armdse.TelemetryHandler(reg, tel.StatusAny))
 			if err != nil {
@@ -239,7 +304,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stderr, "monitor: http://%s/\n", bound)
 		}
 	}
-	if err := tel.JournalMeta(*seed, *samples, resolvedWorkers, shardIndex, shardCount, apps); err != nil {
+	if err := tel.JournalMeta(*seed, budget, resolvedWorkers, shardIndex, shardCount, apps); err != nil {
 		return err
 	}
 
@@ -247,6 +312,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	opt := armdse.CollectOptions{
 		Seed:         *seed,
 		Samples:      *samples,
+		Batches:      batchSource(proposer),
+		Prior:        prior,
 		Workers:      *workers,
 		Suite:        suite,
 		Eval:         *eval,

@@ -126,7 +126,7 @@ func TestRunResumeMatchesUninterrupted(t *testing.T) {
 	suite := armdse.TestSuite()
 	apps := armdse.SuiteNames(suite)
 	sw, err := armdse.CreateStreamAux(out+".journal", armdse.FeatureNames(), apps,
-		armdse.StallColumns(apps), journalMeta(9, 4, false, ""))
+		armdse.StallColumns(apps), journalMeta(9, 4, false, "", ""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestRunResumeV1Journal(t *testing.T) {
 	out := filepath.Join(dir, "v1.csv")
 	suite := armdse.TestSuite()
 	sw, err := armdse.CreateStream(out+".journal", armdse.FeatureNames(), armdse.SuiteNames(suite),
-		journalMeta(9, 4, false, ""))
+		journalMeta(9, 4, false, "", ""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,5 +244,61 @@ func TestRunShardUnionMatchesUnsharded(t *testing.T) {
 		if !union[l] {
 			t.Errorf("full-run row missing from shard union: %.60s...", l)
 		}
+	}
+}
+
+// TestRunAdaptiveUniform pins the adaptive control arm to the classic
+// sweep: -search uniform must produce a byte-identical CSV.
+func TestRunAdaptiveUniform(t *testing.T) {
+	dir := t.TempDir()
+	classic := cliCSV(t, filepath.Join(dir, "classic.csv"))
+	adaptive := cliCSV(t, filepath.Join(dir, "uniform.csv"),
+		"-search", "uniform", "-search-batch", "2")
+	if !bytes.Equal(classic, adaptive) {
+		t.Error("-search uniform CSV differs from the classic fixed sweep")
+	}
+}
+
+func TestRunAdaptiveUCB(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ucb.csv")
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-seed", "9", "-out", out, "-q",
+			"-search", "ucb", "-search-budget", "12", "-search-batch", "4", "-search-pool", "16"},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := armdse.LoadDataset(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Len() != 12 {
+		t.Errorf("adaptive dataset rows = %d, want 12", data.Len())
+	}
+	// The runlog's config records carry the proposing generation.
+	rl, err := os.ReadFile(out + ".runlog.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(rl, []byte(`"gen":`)) {
+		t.Error("adaptive runlog has no gen tags")
+	}
+	if !bytes.Contains(rl, []byte(`"search":"ucb/`)) {
+		t.Error("adaptive runlog meta has no search digest")
+	}
+}
+
+func TestRunAdaptiveRejects(t *testing.T) {
+	var buf bytes.Buffer
+	out := filepath.Join(t.TempDir(), "ds.csv")
+	err := run(context.Background(),
+		[]string{"-samples", "4", "-out", out, "-search", "ucb", "-shard", "0/2", "-q"}, &buf, &buf)
+	if err == nil || !strings.Contains(err.Error(), "-shard") {
+		t.Errorf("adaptive shard accepted: %v", err)
+	}
+	if err := run(context.Background(),
+		[]string{"-samples", "4", "-out", out, "-search", "anneal", "-q"}, &buf, &buf); err == nil {
+		t.Error("unknown strategy accepted")
 	}
 }

@@ -9,6 +9,7 @@
 //	dsequery -data dataset.csv -app miniBUDE -predict cfg.json
 //	dsequery -data dataset.csv -app STREAM -pdp L2-Size
 //	dsequery -data dataset.csv -app miniBUDE -search -candidates 50000
+//	dsequery -data dataset.csv -app STREAM -pareto
 package main
 
 import (
@@ -38,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		predict    = fs.String("predict", "", "JSON config file to predict cycles for")
 		pdp        = fs.String("pdp", "", "feature name for a partial-dependence sweep")
 		doSearch   = fs.Bool("search", false, "search the design space for minimum predicted cycles")
+		doPareto   = fs.Bool("pareto", false, "print the dataset's Pareto front over (cycles, hardware-cost proxy)")
 		candidates = fs.Int("candidates", 20000, "search screening pool size")
 		seed       = fs.Int64("seed", 1, "seed for search sampling")
 	)
@@ -121,8 +123,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, tbl.String())
 	}
 
+	if *doPareto {
+		did = true
+		front, err := armdse.ParetoFromDataset(data, *app)
+		if err != nil {
+			return err
+		}
+		tbl := report.Table{
+			Title:   fmt.Sprintf("Pareto front of %s cycles vs hardware-cost proxy (%d of %d rows)", *app, len(front), data.Len()),
+			Columns: []string{"Row", "Cycles", "Cost proxy"},
+		}
+		for _, p := range front {
+			tbl.AddRow(fmt.Sprint(p.Row), report.I(p.Cycles), report.F(p.Cost, 2))
+		}
+		fmt.Fprintln(stdout, tbl.String())
+	}
+
 	if !did {
-		return fmt.Errorf("nothing to do: pass -predict, -pdp or -search")
+		return fmt.Errorf("nothing to do: pass -predict, -pdp, -search or -pareto")
 	}
 	return nil
 }

@@ -42,6 +42,7 @@ func TestQueryPredictPdpSearch(t *testing.T) {
 		"-predict", cfgPath,
 		"-pdp", "L2-Size",
 		"-search", "-candidates", "300",
+		"-pareto",
 	}, &out, &errBuf)
 	if err != nil {
 		t.Fatal(err)
@@ -53,6 +54,7 @@ func TestQueryPredictPdpSearch(t *testing.T) {
 		"Partial dependence of STREAM cycles on L2-Size",
 		"best predicted cycles",
 		"winning configuration",
+		"Pareto front of STREAM cycles",
 	} {
 		if !strings.Contains(s, frag) {
 			t.Errorf("output missing %q", frag)

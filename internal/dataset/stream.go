@@ -279,51 +279,73 @@ func (s *StreamWriter) Close() error {
 	return cerr
 }
 
-// CompactStream reads a journal written by StreamWriter and materialises it
-// as a Dataset: failed rows are dropped (and counted), the rest are sorted
-// by global index. Torn tail records are ignored, matching ResumeStream.
-func CompactStream(path string) (*Dataset, int, error) {
+// StreamSchema describes a journal's column layout as read back from its
+// header.
+type StreamSchema struct {
+	// Features and Apps are the feature and target column names.
+	Features []string
+	Apps     []string
+	// AuxNames are the auxiliary column headers (including the aux prefix);
+	// empty for a schema-v1 journal.
+	AuxNames []string
+	// Meta is the run-identity stamp embedded in the header, without the
+	// _meta: prefix; empty if the journal carries none.
+	Meta string
+}
+
+// StreamRow is one journaled record as read back by ReadStreamRows. A
+// failed row carries its features but nil Targets and Aux.
+type StreamRow struct {
+	Index    int
+	Failed   bool
+	Features []float64
+	Targets  map[string]float64
+	Aux      map[string]float64
+}
+
+// ReadStreamRows reads every intact record of a collection journal, deduped
+// by index (first record wins, matching AppendFull) and sorted by global
+// index. Torn tail records and rows with unparseable values are dropped,
+// matching ResumeStream and CompactStream. This is the resume path's view
+// of a journal's contents — an adaptive run reconstructs its prior
+// generations from it.
+func ReadStreamRows(path string) (StreamSchema, []StreamRow, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, 0, err
+		return StreamSchema{}, nil, err
 	}
 	defer f.Close()
 	cr := csv.NewReader(f)
 	header, err := cr.Read()
 	if err != nil {
-		return nil, 0, fmt.Errorf("dataset: compacting %s: reading header: %w", path, err)
+		return StreamSchema{}, nil, fmt.Errorf("dataset: reading %s: reading header: %w", path, err)
 	}
 	if len(header) < 3 || header[0] != journalIndexCol || header[1] != journalFailedCol {
-		return nil, 0, fmt.Errorf("dataset: %s is not a collection journal", path)
+		return StreamSchema{}, nil, fmt.Errorf("dataset: %s is not a collection journal", path)
 	}
+	var schema StreamSchema
 	cols := header
 	if strings.HasPrefix(cols[len(cols)-1], journalMetaPrefix) {
+		schema.Meta = strings.TrimPrefix(cols[len(cols)-1], journalMetaPrefix)
 		cols = cols[:len(cols)-1] // metadata column carries no row data
 	}
-	var features, apps, auxNames []string
 	for _, h := range cols[2:] {
 		switch {
 		case strings.HasPrefix(h, auxPrefix):
-			auxNames = append(auxNames, h)
+			schema.AuxNames = append(schema.AuxNames, h)
 		case len(h) > len(targetPrefix) && h[:len(targetPrefix)] == targetPrefix:
-			apps = append(apps, h[len(targetPrefix):])
+			schema.Apps = append(schema.Apps, h[len(targetPrefix):])
 		default:
-			features = append(features, h)
+			schema.Features = append(schema.Features, h)
 		}
 	}
-	if len(apps) == 0 {
-		return nil, 0, fmt.Errorf("dataset: %s has no target columns", path)
+	if len(schema.Apps) == 0 {
+		return StreamSchema{}, nil, fmt.Errorf("dataset: %s has no target columns", path)
 	}
 	cr.FieldsPerRecord = len(header)
 
-	type row struct {
-		index   int
-		feats   []float64
-		targets map[string]float64
-		aux     map[string]float64
-	}
-	var rows []row
-	failed := 0
+	nf, na, nx := len(schema.Features), len(schema.Apps), len(schema.AuxNames)
+	var rows []StreamRow
 	seen := make(map[int]bool)
 	for {
 		rec, err := cr.Read()
@@ -335,49 +357,60 @@ func CompactStream(path string) (*Dataset, int, error) {
 			continue
 		}
 		seen[idx] = true
-		if rec[1] != "0" {
-			failed++
-			continue
-		}
-		r := row{
-			index:   idx,
-			feats:   make([]float64, len(features)),
-			targets: make(map[string]float64, len(apps)),
-			aux:     make(map[string]float64, len(auxNames)),
-		}
+		r := StreamRow{Index: idx, Failed: rec[1] != "0", Features: make([]float64, nf)}
 		bad := false
-		for i := range features {
-			r.feats[i], err = strconv.ParseFloat(rec[2+i], 64)
+		for i := range r.Features {
+			r.Features[i], err = strconv.ParseFloat(rec[2+i], 64)
 			if err != nil {
 				bad = true
 				break
 			}
 		}
-		for j, a := range apps {
-			v, err := strconv.ParseFloat(rec[2+len(features)+j], 64)
-			if err != nil {
-				bad = true
-				break
+		if !bad && !r.Failed {
+			r.Targets = make(map[string]float64, na)
+			for j, a := range schema.Apps {
+				v, err := strconv.ParseFloat(rec[2+nf+j], 64)
+				if err != nil {
+					bad = true
+					break
+				}
+				r.Targets[a] = v
 			}
-			r.targets[a] = v
-		}
-		for j, n := range auxNames {
-			v, err := strconv.ParseFloat(rec[2+len(features)+len(apps)+j], 64)
-			if err != nil {
-				bad = true
-				break
+			r.Aux = make(map[string]float64, nx)
+			for j, n := range schema.AuxNames {
+				v, err := strconv.ParseFloat(rec[2+nf+na+j], 64)
+				if err != nil {
+					bad = true
+					break
+				}
+				r.Aux[n] = v
 			}
-			r.aux[n] = v
 		}
 		if bad {
 			continue
 		}
 		rows = append(rows, r)
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].index < rows[j].index })
-	d := NewWithAux(features, apps, auxNames)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Index < rows[j].Index })
+	return schema, rows, nil
+}
+
+// CompactStream reads a journal written by StreamWriter and materialises it
+// as a Dataset: failed rows are dropped (and counted), the rest are sorted
+// by global index. Torn tail records are ignored, matching ResumeStream.
+func CompactStream(path string) (*Dataset, int, error) {
+	schema, rows, err := ReadStreamRows(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	failed := 0
+	d := NewWithAux(schema.Features, schema.Apps, schema.AuxNames)
 	for _, r := range rows {
-		if err := d.AppendFull(r.feats, r.targets, r.aux); err != nil {
+		if r.Failed {
+			failed++
+			continue
+		}
+		if err := d.AppendFull(r.Features, r.Targets, r.Aux); err != nil {
 			return nil, 0, err
 		}
 	}

@@ -53,26 +53,43 @@ func PermutationImportance(t *Tree, x [][]float64, y []float64, names []string, 
 // percentages in feature order — so the output is byte-identical at every
 // worker count.
 func PermutationImportanceOpt(t *Tree, x [][]float64, y []float64, names []string, opt ImportanceOptions) ([]Importance, error) {
+	if len(names) != t.nFeatures {
+		return nil, fmt.Errorf("dtree: %d names for %d features", len(names), t.nFeatures)
+	}
+	return PermutationImportanceModel(t, x, y, names, opt)
+}
+
+// PermutationImportanceModel scores permutation importance for any trained
+// predictor — tree or forest. The feature count is taken from the names
+// slice (which must match the evaluation rows); everything else behaves
+// exactly like PermutationImportanceOpt, including the worker-count
+// invariance of the output.
+func PermutationImportanceModel(m Predictor, x [][]float64, y []float64, names []string, opt ImportanceOptions) ([]Importance, error) {
 	if len(x) == 0 {
 		return nil, fmt.Errorf("dtree: empty evaluation set")
 	}
 	if len(x) != len(y) {
 		return nil, fmt.Errorf("dtree: %d rows but %d targets", len(x), len(y))
 	}
-	if len(names) != t.nFeatures {
-		return nil, fmt.Errorf("dtree: %d names for %d features", len(names), t.nFeatures)
+	nFeatures := len(names)
+	if nFeatures == 0 || len(x[0]) != nFeatures {
+		return nil, fmt.Errorf("dtree: %d names for rows of %d features", nFeatures, len(x[0]))
 	}
 	repeats := opt.Repeats
 	if repeats < 1 {
 		repeats = 1
 	}
-	base := t.MAE(x, y)
+	var base float64
+	for i, row := range x {
+		base += math.Abs(m.Predict(row) - y[i])
+	}
+	base /= float64(len(x))
 
 	n := len(x)
-	imps := make([]Importance, t.nFeatures)
-	forEachChunk(t.nFeatures, opt.Workers, func(lo, hi int) {
+	imps := make([]Importance, nFeatures)
+	forEachChunk(nFeatures, opt.Workers, func(lo, hi int) {
 		col := make([]float64, n)
-		row := make([]float64, t.nFeatures)
+		row := make([]float64, nFeatures)
 		for f := lo; f < hi; f++ {
 			var incSum float64
 			for r := 0; r < repeats; r++ {
@@ -85,7 +102,7 @@ func PermutationImportanceOpt(t *Tree, x [][]float64, y []float64, names []strin
 				for i := range x {
 					copy(row, x[i])
 					row[f] = col[i]
-					err += math.Abs(t.Predict(row) - y[i])
+					err += math.Abs(m.Predict(row) - y[i])
 				}
 				incSum += err/float64(n) - base
 			}

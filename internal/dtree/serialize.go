@@ -23,10 +23,8 @@ type nodeJSON struct {
 	Right     int32   `json:"r,omitempty"`
 }
 
-// Write serialises the tree as JSON, so a trained surrogate can be shipped
-// and reused without retraining (the paper's "easily applied to new codes or
-// a new system design" deployment story).
-func (t *Tree) Write(w io.Writer) error {
+// toJSON converts the tree to its on-disk form.
+func (t *Tree) toJSON() treeJSON {
 	tj := treeJSON{NFeatures: t.nFeatures, Nodes: make([]nodeJSON, len(t.nodes))}
 	for i, nd := range t.nodes {
 		tj.Nodes[i] = nodeJSON{
@@ -37,32 +35,11 @@ func (t *Tree) Write(w io.Writer) error {
 			Right:     nd.right,
 		}
 	}
-	bw := bufio.NewWriter(w)
-	if err := json.NewEncoder(bw).Encode(tj); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return tj
 }
 
-// Serialize returns the tree's canonical encoding — the bytes Write emits.
-// Because nodes are packed in deterministic preorder, two trainings that
-// grew the same tree (e.g. the same data at different worker counts)
-// serialise to identical bytes, which is the repo's equivalence test for
-// the parallel trainer.
-func (t *Tree) Serialize() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := t.Write(&buf); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-// Read deserialises a tree written by Write and validates its structure.
-func Read(r io.Reader) (*Tree, error) {
-	var tj treeJSON
-	if err := json.NewDecoder(r).Decode(&tj); err != nil {
-		return nil, fmt.Errorf("dtree: decoding tree: %w", err)
-	}
+// treeFromJSON validates the on-disk form and reconstructs the tree.
+func treeFromJSON(tj treeJSON) (*Tree, error) {
 	if tj.NFeatures < 1 {
 		return nil, fmt.Errorf("dtree: invalid feature count %d", tj.NFeatures)
 	}
@@ -89,6 +66,39 @@ func Read(r io.Reader) (*Tree, error) {
 		}
 	}
 	return t, nil
+}
+
+// Write serialises the tree as JSON, so a trained surrogate can be shipped
+// and reused without retraining (the paper's "easily applied to new codes or
+// a new system design" deployment story).
+func (t *Tree) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(t.toJSON()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Serialize returns the tree's canonical encoding — the bytes Write emits.
+// Because nodes are packed in deterministic preorder, two trainings that
+// grew the same tree (e.g. the same data at different worker counts)
+// serialise to identical bytes, which is the repo's equivalence test for
+// the parallel trainer.
+func (t *Tree) Serialize() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := t.Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Read deserialises a tree written by Write and validates its structure.
+func Read(r io.Reader) (*Tree, error) {
+	var tj treeJSON
+	if err := json.NewDecoder(r).Decode(&tj); err != nil {
+		return nil, fmt.Errorf("dtree: decoding tree: %w", err)
+	}
+	return treeFromJSON(tj)
 }
 
 // SaveFile writes the tree to path.

@@ -1,0 +1,121 @@
+package orchestrate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"armdse/internal/dataset"
+	"armdse/internal/params"
+)
+
+// The batch-source seam. A fixed sweep decides its configuration set before
+// the run starts; an adaptive search decides it *during* the run, proposing
+// each batch from the results of the previous ones. BatchSource is the
+// generalisation: the engine asks for one batch at a time, runs it to a
+// full barrier, and feeds every completed row back before asking for the
+// next. The fixed sources are the degenerate single-batch case
+// (FixedBatches), which keeps the classic sweep byte-identical through the
+// refactor.
+//
+// Determinism contract: the engine assigns batch g the contiguous global
+// indices [base, base+len(batch)) where base is the total size of batches
+// 0..g-1, and calls NextBatch with exactly the rows whose Index < base —
+// i.e. the complete results of all earlier batches, sorted by index, never
+// a partial batch. A proposer whose output is a pure function of its own
+// seed, the call number and those rows therefore yields the same batches
+// at any worker count, and on resume: journaled rows from an interrupted
+// run re-enter through Engine.Prior and reproduce the same proposal
+// sequence, while Engine.Skip prevents re-simulating them.
+
+// BatchSource proposes configuration batches during a run.
+type BatchSource interface {
+	// NextBatch returns the next batch of configurations given the rows of
+	// all completed earlier batches (sorted by Index, failed rows
+	// included), or ok=false when the source is exhausted. An empty batch
+	// with ok=true is treated as exhaustion.
+	NextBatch(prior []Row) (batch []params.Config, ok bool)
+}
+
+// Budgeter is an optional BatchSource extension reporting the total number
+// of configurations the source intends to propose — the engine's
+// progress-total and ETA hint. Sources with data-dependent stopping simply
+// omit it.
+type Budgeter interface {
+	Budget() int
+}
+
+// FixedBatches adapts a fixed ConfigSource to the batch seam as a single
+// batch: the degenerate case the determinism tests pin against the
+// pre-seam engine.
+type FixedBatches struct {
+	Source ConfigSource
+
+	served bool
+}
+
+// NextBatch implements BatchSource: the whole source once, then exhausted.
+func (f *FixedBatches) NextBatch(prior []Row) ([]params.Config, bool) {
+	if f.served {
+		return nil, false
+	}
+	f.served = true
+	batch := make([]params.Config, f.Source.Len())
+	for i := range batch {
+		batch[i] = f.Source.At(i)
+	}
+	return batch, true
+}
+
+// Budget implements Budgeter.
+func (f *FixedBatches) Budget() int { return f.Source.Len() }
+
+// SourceDigest fingerprints a fixed source's contents — FNV-1a over the
+// length and every configuration's feature bits. Embedding the digest in a
+// journal's meta stamp extends the resume identity check from "(seed,
+// samples, suite) match" to "the actual configurations match", which is
+// the only identity a SliceSource or a proposed batch has: resuming such a
+// journal against a different source fails the meta comparison instead of
+// silently mixing rows from two different sweeps.
+func SourceDigest(s ConfigSource) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(s.Len()))
+	h.Write(buf[:])
+	for i := 0; i < s.Len(); i++ {
+		cfg := s.At(i)
+		for _, f := range cfg.Features() {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// PriorRowsFromJournal reconstructs the engine-visible rows of an
+// interrupted run from its on-disk journal, for Engine.Prior on resume.
+// The reconstruction is exact where the proposer looks: index, feature
+// vector, per-app targets and the failed flag all round-trip through the
+// journal's full-precision float encoding. Failed rows come back with
+// Row.Err set (and nil targets), exactly as Row.Failed reported them going
+// in.
+func PriorRowsFromJournal(path string) ([]Row, error) {
+	_, srows, err := dataset.ReadStreamRows(path)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, 0, len(srows))
+	for _, sr := range srows {
+		row := Row{Index: sr.Index, Features: sr.Features, Targets: sr.Targets}
+		if sr.Failed {
+			row.Err = fmt.Errorf("orchestrate: journaled failure at index %d", sr.Index)
+			row.Targets = nil
+		}
+		if cfg, err := params.FromFeatures(sr.Features); err == nil {
+			row.Config = cfg
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -61,6 +62,9 @@ func (s SliceSource) At(i int) params.Config { return s[i] }
 type Row struct {
 	// Index is the configuration's global index in the source.
 	Index int
+	// Gen is the proposal generation that produced the configuration under
+	// a BatchSource; always 0 in a fixed-source run.
+	Gen int
 	// Config is the simulated design-space point.
 	Config params.Config
 	// Features is the canonical feature encoding of Config.
@@ -122,8 +126,19 @@ type ProgressEvent struct {
 
 // Engine wires the stages together and runs the worker pool.
 type Engine struct {
-	// Source yields the configurations; required.
+	// Source yields the configurations. Exactly one of Source and Batches
+	// must be set.
 	Source ConfigSource
+	// Batches, when set, proposes configurations generation by generation
+	// during the run (the adaptive seam; see BatchSource). The engine runs
+	// each batch to a full barrier and feeds all completed rows back before
+	// requesting the next. Incompatible with sharding.
+	Batches BatchSource
+	// Prior seeds a Batches run with the completed rows of an interrupted
+	// one (see PriorRowsFromJournal) so the proposal sequence replays
+	// identically; combine with Skip to avoid re-simulating them. Ignored
+	// for fixed-source runs.
+	Prior []Row
 	// Suite is the workload set simulated on every configuration;
 	// required.
 	Suite []workload.Workload
@@ -185,11 +200,22 @@ type Engine struct {
 // returns ctx.Err() — everything already completed is preserved by the
 // sink.
 func (e *Engine) Run(ctx context.Context) (done, failed int, err error) {
-	if e.Source == nil || e.Sink == nil {
-		return 0, 0, fmt.Errorf("orchestrate: engine needs a Source and a Sink")
+	if (e.Source == nil) == (e.Batches == nil) {
+		return 0, 0, fmt.Errorf("orchestrate: engine needs exactly one of Source and Batches")
+	}
+	if e.Sink == nil {
+		return 0, 0, fmt.Errorf("orchestrate: engine needs a Sink")
 	}
 	if len(e.Suite) == 0 {
 		return 0, 0, fmt.Errorf("orchestrate: empty workload suite")
+	}
+	batchMode := e.Batches != nil
+	if batchMode && e.ShardCount > 1 {
+		// A shard sees only a slice of each generation's rows, so its
+		// proposals would diverge from every other shard's — there is no
+		// consistent dataset to assemble. Adaptive runs parallelise inside
+		// the batch instead.
+		return 0, 0, fmt.Errorf("orchestrate: batch sources cannot be sharded")
 	}
 	if e.ShardCount > 1 && (e.ShardIndex < 0 || e.ShardIndex >= e.ShardCount) {
 		return 0, 0, fmt.Errorf("orchestrate: shard %d/%d out of range", e.ShardIndex, e.ShardCount)
@@ -212,21 +238,32 @@ func (e *Engine) Run(ctx context.Context) (done, failed int, err error) {
 		maxCycles = simeng.DefaultMaxCycles
 	}
 
+	// Fixed-source runs enumerate their whole index space up front; batch
+	// runs discover theirs generation by generation, so their progress
+	// total is the source's Budget hint (0 when it offers none), refined
+	// downward as skipped indices are discovered.
 	var todo []int
-	for i := 0; i < e.Source.Len(); i++ {
-		if e.ShardCount > 1 && i%e.ShardCount != e.ShardIndex {
-			continue
+	total := 0
+	if !batchMode {
+		for i := 0; i < e.Source.Len(); i++ {
+			if e.ShardCount > 1 && i%e.ShardCount != e.ShardIndex {
+				continue
+			}
+			if e.Skip != nil && e.Skip(i) {
+				continue
+			}
+			todo = append(todo, i)
 		}
-		if e.Skip != nil && e.Skip(i) {
-			continue
-		}
-		todo = append(todo, i)
+		total = len(todo)
+	} else if b, ok := e.Batches.(Budgeter); ok {
+		total = b.Budget()
 	}
 
 	start := time.Now()
 	tel := e.Telemetry
-	tel.bind(e.Suite, workers, len(todo), e.ShardIndex, e.ShardCount, start)
+	tel.bind(e.Suite, workers, total, e.ShardIndex, e.ShardCount, start)
 	tel.bindEval(kind)
+	tel.bindBatchMode(batchMode)
 	cache := newProgramCache()
 	cache.instrument(tel)
 
@@ -238,44 +275,53 @@ func (e *Engine) Run(ctx context.Context) (done, failed int, err error) {
 	// within a generation every routing decision consults a frozen model,
 	// so the decision per index — and therefore the dataset — is a pure
 	// function of (Source, Seed, thresholds), independent of worker count
-	// and completion order.
+	// and completion order. In batch mode the proposer's own barriers are
+	// the generations: the residual forests refresh at each batch
+	// boundary, and the first batch doubles as the warmup (no model, all
+	// escalated).
 	var hst *hybridState
 	gens := [][]int{todo}
 	if kind == EvalHybrid {
 		hst = newHybridState(e.EvalEscalate, e.Seed, workers)
-		warmup := e.EvalWarmup
-		if warmup <= 0 {
-			warmup = DefaultEvalWarmup
-		}
-		refresh := e.EvalRefresh
-		if refresh <= 0 {
-			refresh = DefaultEvalRefresh
-		}
-		if warmup > len(todo) {
-			warmup = len(todo)
-		}
-		gens = [][]int{todo[:warmup]}
-		for lo := warmup; lo < len(todo); lo += refresh {
-			hi := lo + refresh
-			if hi > len(todo) {
-				hi = len(todo)
+		if !batchMode {
+			warmup := e.EvalWarmup
+			if warmup <= 0 {
+				warmup = DefaultEvalWarmup
 			}
-			gens = append(gens, todo[lo:hi])
+			refresh := e.EvalRefresh
+			if refresh <= 0 {
+				refresh = DefaultEvalRefresh
+			}
+			if warmup > len(todo) {
+				warmup = len(todo)
+			}
+			gens = [][]int{todo[:warmup]}
+			for lo := warmup; lo < len(todo); lo += refresh {
+				hi := lo + refresh
+				if hi > len(todo) {
+					hi = len(todo)
+				}
+				gens = append(gens, todo[lo:hi])
+			}
 		}
 	}
 
 	type job struct {
 		idx     int
+		gen     int
+		cfg     params.Config
 		pending *sync.WaitGroup
 	}
 	jobs := make(chan job)
 	var wg sync.WaitGroup
 
-	// Shared run state, guarded by mu: progress counters and the first
-	// sink error (which aborts the run).
+	// Shared run state, guarded by mu: progress counters, the first sink
+	// error (which aborts the run), and — in batch mode — the rows
+	// completed in the current batch, tapped for the proposer.
 	var mu sync.Mutex
 	var cycles int64
 	var sinkErr error
+	var batchRows []Row
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -293,12 +339,13 @@ func (e *Engine) Run(ctx context.Context) (done, failed int, err error) {
 				var row Row
 				switch kind {
 				case EvalBound:
-					row = e.runBoundConfig(cache, j.idx, worker)
+					row = e.runBoundConfig(cache, j.cfg, j.idx, worker)
 				case EvalHybrid:
-					row = e.runHybridConfig(cache, rc, hst, j.idx, maxCycles, worker)
+					row = e.runHybridConfig(cache, rc, hst, j.cfg, j.idx, maxCycles, worker)
 				default:
-					row = e.runConfig(cache, rc, j.idx, maxCycles, worker)
+					row = e.runConfig(cache, rc, j.cfg, j.idx, maxCycles, worker)
 				}
+				row.Gen = j.gen
 				tel.configDone(worker, &row, time.Since(t0).Nanoseconds())
 				mu.Lock()
 				if sinkErr != nil {
@@ -315,6 +362,9 @@ func (e *Engine) Run(ctx context.Context) (done, failed int, err error) {
 					j.pending.Done()
 					continue
 				}
+				if batchMode {
+					batchRows = append(batchRows, row)
+				}
 				done++
 				if row.Failed() {
 					failed++
@@ -324,13 +374,13 @@ func (e *Engine) Run(ctx context.Context) (done, failed int, err error) {
 				ev := ProgressEvent{
 					Done:       done,
 					Failed:     failed,
-					Total:      len(todo),
+					Total:      total,
 					RowsPerSec: float64(done) / elapsed.Seconds(),
 					Cycles:     cycles,
 					Elapsed:    elapsed,
 				}
-				if done > 0 && done < len(todo) {
-					ev.ETA = time.Duration(float64(elapsed) * float64(len(todo)-done) / float64(done))
+				if done > 0 && done < total {
+					ev.ETA = time.Duration(float64(elapsed) * float64(total-done) / float64(done))
 				}
 				tel.progress(ev)
 				if e.Progress != nil {
@@ -342,35 +392,98 @@ func (e *Engine) Run(ctx context.Context) (done, failed int, err error) {
 		}(w)
 	}
 
-	// Feed generation by generation. The per-generation WaitGroup counts
-	// every job handed to a worker; waiting on it before refreshing the
-	// hybrid's residual forests is the barrier that keeps routing
-	// deterministic. Exact and bound runs have one generation, so their
-	// feed order and abort behaviour are unchanged.
+	// Feed stage. Both paths hand every job to a worker through a
+	// per-generation WaitGroup; waiting on it before refreshing the
+	// hybrid's residual forests — or before asking the proposer for the
+	// next batch — is the barrier that keeps routing and proposals
+	// deterministic at any worker count.
 	var ctxErr error
-feed:
-	for gi, gen := range gens {
-		if gi > 0 && hst != nil {
-			tel.evalRefresh(hst.refresh())
+	if !batchMode {
+		// Fixed source: feed generation by generation. Exact and bound
+		// runs have one generation, so their feed order and abort
+		// behaviour match the pre-seam engine exactly.
+	feed:
+		for gi, gen := range gens {
+			if gi > 0 && hst != nil {
+				tel.evalRefresh(hst.refresh())
+			}
+			var pending sync.WaitGroup
+			for _, i := range gen {
+				mu.Lock()
+				aborted := sinkErr != nil
+				mu.Unlock()
+				if aborted {
+					break feed
+				}
+				pending.Add(1)
+				select {
+				case jobs <- job{idx: i, cfg: e.Source.At(i), pending: &pending}:
+				case <-ctx.Done():
+					pending.Done()
+					ctxErr = ctx.Err()
+					break feed
+				}
+			}
+			pending.Wait()
 		}
-		var pending sync.WaitGroup
-		for _, i := range gen {
+	} else {
+		// Batch source: ask → run to the barrier → feed results back →
+		// ask again. Batch g owns the contiguous indices [base,
+		// base+len(batch)); the proposer sees exactly the rows with
+		// Index < base — all complete earlier batches, sorted by index —
+		// which is what makes the proposal sequence a pure function of
+		// (source state, prior results), independent of worker count and
+		// resume point.
+		rows := append([]Row(nil), e.Prior...)
+		sortRowsByIndex(rows)
+		base := 0
+	batchFeed:
+		for gen := 0; ; gen++ {
+			cut := 0
+			for cut < len(rows) && rows[cut].Index < base {
+				cut++
+			}
+			batch, ok := e.Batches.NextBatch(rows[:cut:cut])
+			if !ok || len(batch) == 0 {
+				break
+			}
+			var pending sync.WaitGroup
+			for bi, cfg := range batch {
+				i := base + bi
+				if e.Skip != nil && e.Skip(i) {
+					mu.Lock()
+					if total > 0 {
+						total--
+					}
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				aborted := sinkErr != nil
+				mu.Unlock()
+				if aborted {
+					break batchFeed
+				}
+				pending.Add(1)
+				select {
+				case jobs <- job{idx: i, gen: gen, cfg: cfg, pending: &pending}:
+				case <-ctx.Done():
+					pending.Done()
+					ctxErr = ctx.Err()
+					break batchFeed
+				}
+			}
+			pending.Wait()
+			if hst != nil {
+				tel.evalRefresh(hst.refresh())
+			}
+			base += len(batch)
 			mu.Lock()
-			aborted := sinkErr != nil
+			rows = append(rows, batchRows...)
+			batchRows = nil
 			mu.Unlock()
-			if aborted {
-				break feed
-			}
-			pending.Add(1)
-			select {
-			case jobs <- job{idx: i, pending: &pending}:
-			case <-ctx.Done():
-				pending.Done()
-				ctxErr = ctx.Err()
-				break feed
-			}
+			sortRowsByIndex(rows)
 		}
-		pending.Wait()
 	}
 	close(jobs)
 	wg.Wait()
@@ -381,15 +494,20 @@ feed:
 	return done, failed, ctxErr
 }
 
+// sortRowsByIndex orders rows by their global index — the canonical order
+// the batch feed presents prior results in.
+func sortRowsByIndex(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Index < rows[j].Index })
+}
+
 // runConfig is the worker stage: simulate the full suite on configuration
 // index i through the worker's pooled run context and record the outcome.
 // Telemetry recording (per-app wall time, stall aggregates, journal staging)
 // rides the same pass; with a nil Telemetry the only overhead is a nil check
 // per app.
-func (e *Engine) runConfig(cache *programCache, rc *runContext, i int, maxCycles int64, worker int) Row {
+func (e *Engine) runConfig(cache *programCache, rc *runContext, cfg params.Config, i int, maxCycles int64, worker int) Row {
 	tel := e.Telemetry
 	tel.beginConfig(worker)
-	cfg := e.Source.At(i)
 	row := Row{Index: i, Config: cfg, Features: cfg.Features()}
 	targets := make(map[string]float64, len(e.Suite))
 	stalls := make(map[string]simeng.StallBreakdown, len(e.Suite))
@@ -425,10 +543,9 @@ func (e *Engine) runConfig(cache *programCache, rc *runContext, i int, maxCycles
 // emitted Row carries the same shape as an exact one (targets, stalls
 // summing to cycles), marked Predicted with the bounds' tightness as
 // confidence.
-func (e *Engine) runBoundConfig(cache *programCache, i, worker int) Row {
+func (e *Engine) runBoundConfig(cache *programCache, cfg params.Config, i, worker int) Row {
 	tel := e.Telemetry
 	tel.beginConfig(worker)
-	cfg := e.Source.At(i)
 	row := Row{Index: i, Config: cfg, Features: cfg.Features()}
 	bm, err := simeng.NewBoundModel(cfg.Core, cfg.MemProfile())
 	if err != nil {
@@ -473,9 +590,8 @@ func (e *Engine) runBoundConfig(cache *programCache, i, worker int) Row {
 // escalate it to the exact path — which is runConfig itself, so escalated
 // rows are byte-identical to an exact run's — and fold the exact outcomes
 // into the routing state for the next generation's refresh.
-func (e *Engine) runHybridConfig(cache *programCache, rc *runContext, hst *hybridState, i int, maxCycles int64, worker int) Row {
+func (e *Engine) runHybridConfig(cache *programCache, rc *runContext, hst *hybridState, cfg params.Config, i int, maxCycles int64, worker int) Row {
 	tel := e.Telemetry
-	cfg := e.Source.At(i)
 	bm, bmErr := simeng.NewBoundModel(cfg.Core, cfg.MemProfile())
 
 	// Plan each application: bounds, features, and the frozen forest's
@@ -539,7 +655,7 @@ func (e *Engine) runHybridConfig(cache *programCache, rc *runContext, hst *hybri
 		return row
 	}
 
-	row := e.runConfig(cache, rc, i, maxCycles, worker)
+	row := e.runConfig(cache, rc, cfg, i, maxCycles, worker)
 	tel.evalDecision(worker, false, 0)
 	if row.Err == nil && plans != nil {
 		for ai, w := range e.Suite {

@@ -27,8 +27,16 @@ type Options struct {
 	// Workers, sharding, or resume point (configs are derived
 	// independently per index — see params.ConfigAt).
 	Seed int64
-	// Samples is the size of the run's global index space.
+	// Samples is the size of the run's global index space. Ignored when
+	// Batches is set (the proposer decides the index space).
 	Samples int
+	// Batches, when non-nil, replaces the fixed indexed source with a
+	// batch proposer — the adaptive search seam; see Engine.Batches.
+	// Incompatible with sharding.
+	Batches BatchSource
+	// Prior seeds a Batches run with the completed rows of an interrupted
+	// one; see Engine.Prior.
+	Prior []Row
 	// Workers bounds the worker pool; 0 uses GOMAXPROCS.
 	Workers int
 	// Suite is the workload set; nil uses workload.TestSuite().
@@ -130,7 +138,7 @@ func RunOneOn(backend string, cfg params.Config, w workload.Workload, maxCycles 
 // before the interrupt (plus ctx.Err()), so callers can persist what
 // finished.
 func Collect(ctx context.Context, opt Options) (Result, error) {
-	if opt.Samples <= 0 {
+	if opt.Batches == nil && opt.Samples <= 0 {
 		return Result{}, fmt.Errorf("orchestrate: samples %d <= 0", opt.Samples)
 	}
 	suite := opt.Suite
@@ -156,7 +164,8 @@ func Collect(ctx context.Context, opt Options) (Result, error) {
 	}
 
 	eng := &Engine{
-		Source:          IndexedSource{Seed: opt.Seed, N: opt.Samples},
+		Batches:         opt.Batches,
+		Prior:           opt.Prior,
 		Suite:           suite,
 		Sink:            sink,
 		Backend:         opt.Backend,
@@ -172,6 +181,9 @@ func Collect(ctx context.Context, opt Options) (Result, error) {
 		Skip:            opt.Skip,
 		Progress:        opt.Progress,
 		Telemetry:       opt.Telemetry,
+	}
+	if opt.Batches == nil {
+		eng.Source = IndexedSource{Seed: opt.Seed, N: opt.Samples}
 	}
 	done, failed, runErr := eng.Run(ctx)
 	res := Result{Done: done, Failed: failed}

@@ -36,6 +36,12 @@ type Telemetry struct {
 	// HeartbeatEvery spaces journal heartbeat records; zero uses 5s.
 	HeartbeatEvery time.Duration
 
+	// Search, when non-empty, identifies the adaptive proposal source (the
+	// proposer digest) in the journal's meta record. Set it before
+	// JournalMeta; fixed sweeps leave it empty and their meta records are
+	// byte-identical to pre-seam runs.
+	Search string
+
 	// Bound at Engine.Run start (bind); engine workers index apps and
 	// scratch by suite position and worker id.
 	appNames   []string
@@ -71,6 +77,10 @@ type Telemetry struct {
 	total                  int
 	shardIndex, shardCount int
 	startedAt              time.Time
+	// emitGen adds the proposal-generation tag to config records; bound
+	// true only for batch-source runs so fixed-sweep runlogs stay
+	// byte-identical.
+	emitGen bool
 
 	// mu guards the slowest-config table, the journal encode buffer and the
 	// heartbeat clock.
@@ -223,6 +233,15 @@ func (t *Telemetry) bind(suite []workload.Workload, workers, total, shardIndex, 
 	t.mu.Unlock()
 }
 
+// bindBatchMode switches config records to carry the proposal-generation
+// tag. Called by Engine.Run alongside bind.
+func (t *Telemetry) bindBatchMode(batch bool) {
+	if t == nil {
+		return
+	}
+	t.emitGen = batch
+}
+
 // bindEval creates the evaluator-seam handles for a non-exact run. Called
 // by Engine.Run after bind; exact runs register nothing, keeping their
 // metric surface identical to pre-seam engines.
@@ -343,7 +362,7 @@ func (t *Telemetry) configDone(worker int, row *Row, wallNs int64) {
 	t.mu.Lock()
 	t.noteSlow(row.Index, wallNs, row.Cycles, row.Failed())
 	if t.journal != nil {
-		t.jbuf = appendConfigRecord(t.jbuf[:0], t.appNames, &t.scratch[worker], row, wallNs)
+		t.jbuf = appendConfigRecord(t.jbuf[:0], t.appNames, &t.scratch[worker], row, wallNs, t.emitGen)
 		_ = t.journal.WriteLine(t.jbuf)
 	}
 	t.mu.Unlock()
@@ -449,6 +468,10 @@ func (t *Telemetry) JournalMeta(seed int64, samples, workers, shardIndex, shardC
 	b = strconv.AppendInt(b, int64(shardIndex), 10)
 	b = append(b, `,"shard_count":`...)
 	b = strconv.AppendInt(b, int64(shardCount), 10)
+	if t.Search != "" {
+		b = append(b, `,"search":`...)
+		b = appendJSONString(b, t.Search)
+	}
 	b = append(b, `,"apps":`...)
 	b = appendStringArray(b, apps)
 	b = append(b, `,"stall_classes":`...)
@@ -486,9 +509,13 @@ func (t *Telemetry) JournalSummary(rows, failed int, elapsed time.Duration) erro
 // appendConfigRecord hand-encodes one per-config journal line. Field order
 // is fixed and apps appear in suite order, so records are deterministic and
 // schema-checkable; encoding appends into the caller's reused buffer.
-func appendConfigRecord(b []byte, appNames []string, s *workerScratch, row *Row, wallNs int64) []byte {
+func appendConfigRecord(b []byte, appNames []string, s *workerScratch, row *Row, wallNs int64, emitGen bool) []byte {
 	b = append(b, `{"type":"config","index":`...)
 	b = strconv.AppendInt(b, int64(row.Index), 10)
+	if emitGen {
+		b = append(b, `,"gen":`...)
+		b = strconv.AppendInt(b, int64(row.Gen), 10)
+	}
 	b = append(b, `,"wall_ms":`...)
 	b = appendFloat(b, float64(wallNs)/1e6)
 	b = append(b, `,"cycles":`...)

@@ -1,0 +1,116 @@
+package params
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config ↔ feature-vector round trip. The surrogate, the acquisition
+// strategies and the Pareto extractor all operate on the canonical
+// 30-vector; Encode/Decode are the two directions of that mapping. Decode
+// is total over arbitrary real vectors: every feature is snapped to its
+// parameter's discrete grid and the paper's dependent constraints are then
+// repaired upward, so a model-proposed point always lands on a simulatable
+// configuration.
+
+// Encode flattens a configuration into the canonical 30-vector —
+// identical to Config.Features, named for symmetry with Decode.
+func Encode(c Config) []float64 { return c.Features() }
+
+// Decode reconstructs a configuration from a feature vector of arbitrary
+// real values: each entry is snapped to the nearest discrete value of its
+// parameter, the dependent constraints (§V-A) are repaired upward via
+// Repair, and the result always validates. Only a wrong vector length is
+// an error.
+func Decode(f []float64) (Config, error) {
+	if len(f) != NumFeatures {
+		return Config{}, fmt.Errorf("params: feature vector has %d entries, want %d", len(f), NumFeatures)
+	}
+	snapped := make([]float64, NumFeatures)
+	for i, p := range Space() {
+		snapped[i] = p.Snap(f[i])
+	}
+	cfg, err := FromFeatures(snapped)
+	if err != nil {
+		return Config{}, err
+	}
+	Repair(&cfg)
+	if err := cfg.Validate(); err != nil {
+		return Config{}, fmt.Errorf("params: decoded configuration invalid after repair: %w", err)
+	}
+	return cfg, nil
+}
+
+// Snap returns the parameter's discrete value nearest to v (ties resolve
+// to the smaller value; out-of-range values clamp to the bounds).
+func (p Param) Snap(v float64) float64 {
+	vals := p.Values()
+	best := vals[0]
+	bestDist := math.Abs(v - best)
+	for _, cand := range vals[1:] {
+		if d := math.Abs(v - cand); d < bestDist {
+			best, bestDist = cand, d
+		}
+	}
+	return best
+}
+
+// Repair restores the paper's dependent constraints after per-parameter
+// edits, adjusting the dependent side upward to the nearest legal value:
+// Load/Store bandwidth to at least one vector of bytes, L2 size strictly
+// above L1, L2 latency strictly above L1. Single-parameter moves in the
+// hill-climb refiner and model-proposed feature vectors both pass through
+// here before simulation.
+func Repair(cfg *Config) {
+	vecBytes := cfg.Core.VectorLength / 8
+	for cfg.Core.LoadBandwidth < vecBytes {
+		cfg.Core.LoadBandwidth *= 2
+	}
+	for cfg.Core.StoreBandwidth < vecBytes {
+		cfg.Core.StoreBandwidth *= 2
+	}
+	for cfg.Mem.L2Size <= cfg.Mem.L1DSize {
+		cfg.Mem.L2Size *= 2
+	}
+	if cfg.Mem.L2Latency <= cfg.Mem.L1DLatency {
+		cfg.Mem.L2Latency = cfg.Mem.L1DLatency + 2
+	}
+}
+
+// CostProxy scores a configuration's approximate hardware cost — the
+// second objective of the Pareto extraction, standing in for the
+// area/power budget a real co-design study would carry. It is a weighted
+// sum of the structures that dominate core area: SRAM bytes (caches),
+// register files, the ROB and load/store queues, the vector datapath and
+// memory bandwidth plumbing. The absolute scale is arbitrary (roughly
+// "ThunderX2 ≈ 100"); only relative comparisons between configurations
+// are meaningful, which is all a Pareto front needs. The weights are
+// fixed constants, so the proxy is a pure function of the configuration.
+func CostProxy(c Config) float64 {
+	cost := 0.0
+	// Vector datapath: area grows with the SVE width.
+	cost += float64(c.Core.VectorLength) / 128 * 4
+	// Out-of-order window structures (CAM/RAM heavy).
+	cost += float64(c.Core.ROBSize) * 0.05
+	cost += float64(c.Core.LoadQueueSize+c.Core.StoreQueueSize) * 0.05
+	// Physical register files.
+	cost += float64(c.Core.GPRegisters+c.Core.FPSVERegisters+
+		c.Core.PredRegisters+c.Core.CondRegisters) * 0.02
+	// Pipeline width (ported structures scale superlinearly; a linear
+	// weight keeps the proxy monotone and cheap).
+	cost += float64(c.Core.CommitWidth+c.Core.FrontendWidth+c.Core.LSQCompletionWidth) * 0.5
+	// L1/L2 data-path width and outstanding-miss tracking.
+	cost += float64(c.Core.LoadBandwidth+c.Core.StoreBandwidth) / 16 * 0.5
+	cost += float64(c.Core.MemRequestsPerCycle+c.Core.MemLoadsPerCycle+c.Core.MemStoresPerCycle) * 0.2
+	cost += float64(c.Mem.L1DMSHRs) * 0.1
+	// SRAM: L1 is the faster, costlier array per byte.
+	cost += float64(c.Mem.L1DSize) / 1024 * 0.3
+	cost += float64(c.Mem.L2Size) / 1024 * 0.03
+	cost += float64(c.Mem.L1DAssoc+c.Mem.L2Assoc) * 0.2
+	// External bandwidth (pins, controllers).
+	cost += c.Mem.RAMBandwidthGBs * 0.02
+	// Frontend storage.
+	cost += float64(c.Core.FetchBlockSize) / 16 * 0.1
+	cost += float64(c.Core.LoopBufferSize) * 0.01
+	return cost
+}

@@ -1,0 +1,115 @@
+package params
+
+import (
+	"math"
+	"testing"
+)
+
+// Sampled configurations already lie on the grid and satisfy the
+// constraints, so Encode → Decode must be the identity.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		cfg := ConfigAt(17, i)
+		enc := Encode(cfg)
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("config %d: Decode: %v", i, err)
+		}
+		// Config holds a non-comparable struct, so compare via the
+		// canonical encoding (which covers every swept field).
+		got := Encode(back)
+		for j := range enc {
+			if got[j] != enc[j] {
+				t.Fatalf("config %d: round trip changed feature %d (%s): got %v want %v",
+					i, j, FeatureNames()[j], got[j], enc[j])
+			}
+		}
+	}
+}
+
+func TestDecodeSnapsAndRepairs(t *testing.T) {
+	// Start from a valid config, then perturb the vector off-grid and
+	// into constraint violations; Decode must still produce a valid
+	// configuration.
+	f := Encode(ThunderX2())
+	f[FVectorLength] = 1900  // off the Pow2 grid → snaps to 2048
+	f[FLoadBandwidth] = 17   // below 2048/8 bytes after the snap
+	f[FL2Size] = f[FL1DSize] // violates L2 > L1D
+	f[FL2Latency] = 3.7      // off-grid and below L1D latency
+	cfg, err := Decode(f)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("decoded config does not validate: %v", err)
+	}
+	if cfg.Core.VectorLength != 2048 {
+		t.Errorf("VectorLength = %d, want snap to 2048", cfg.Core.VectorLength)
+	}
+	if cfg.Core.LoadBandwidth < cfg.Core.VectorLength/8 {
+		t.Errorf("LoadBandwidth = %d not repaired to >= %d", cfg.Core.LoadBandwidth, cfg.Core.VectorLength/8)
+	}
+	if cfg.Mem.L2Size <= cfg.Mem.L1DSize {
+		t.Errorf("L2Size = %d not repaired above L1DSize = %d", cfg.Mem.L2Size, cfg.Mem.L1DSize)
+	}
+	if cfg.Mem.L2Latency <= cfg.Mem.L1DLatency {
+		t.Errorf("L2Latency = %d not repaired above L1DLatency = %d", cfg.Mem.L2Latency, cfg.Mem.L1DLatency)
+	}
+}
+
+func TestDecodeWrongLength(t *testing.T) {
+	if _, err := Decode(make([]float64, NumFeatures-1)); err == nil {
+		t.Fatal("Decode accepted a short vector")
+	}
+}
+
+func TestDecodeExtremeValues(t *testing.T) {
+	// Decode must be total: clamp anything finite to the bounds.
+	lo := make([]float64, NumFeatures)
+	hi := make([]float64, NumFeatures)
+	for i := range lo {
+		lo[i] = math.Inf(-1)
+		hi[i] = 1e18
+	}
+	for name, f := range map[string][]float64{"low": lo, "high": hi} {
+		cfg, err := Decode(f)
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: decoded config does not validate: %v", name, err)
+		}
+	}
+}
+
+func TestCostProxyMonotone(t *testing.T) {
+	base := ThunderX2()
+	baseCost := CostProxy(base)
+	if baseCost <= 0 {
+		t.Fatalf("CostProxy(ThunderX2) = %v, want positive", baseCost)
+	}
+	bigger := base
+	bigger.Core.ROBSize *= 2
+	bigger.Mem.L1DSize *= 2
+	bigger.Mem.L2Size *= 2
+	bigger.Core.VectorLength *= 2
+	Repair(&bigger)
+	if CostProxy(bigger) <= baseCost {
+		t.Errorf("CostProxy did not grow with larger structures: %v <= %v", CostProxy(bigger), baseCost)
+	}
+}
+
+func TestSnap(t *testing.T) {
+	p := SpaceByName()["Vector-Length"]
+	cases := []struct {
+		in   float64
+		want float64
+	}{
+		{0, 128}, {128, 128}, {180, 128}, {200, 256}, {1900, 2048}, {1e9, 2048},
+	}
+	for _, c := range cases {
+		if got := p.Snap(c.in); got != c.want {
+			t.Errorf("Snap(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

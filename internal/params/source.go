@@ -34,13 +34,29 @@ func (s *splitmixSource) Uint64() uint64 { return splitmix64(&s.state) }
 func (s *splitmixSource) Int63() int64   { return int64(s.Uint64() >> 1) }
 func (s *splitmixSource) Seed(int64)     {}
 
-// indexedRand returns the RNG for substream index of the stream identified
-// by seed.
-func indexedRand(seed int64, index int) *rand.Rand {
+// SubSeed derives the substream seed for unit index of the stream
+// identified by seed — the derivation ConfigAt uses per configuration
+// index. The result is meant to be passed back in as a seed, so callers
+// can chain derivations (e.g. SubSeed(SubSeed(seed, generation), strategy)
+// for the adaptive search loop's per-(generation, strategy) candidate
+// pools) and every level stays uncorrelated with its neighbours.
+func SubSeed(seed int64, index int) int64 {
 	ss := uint64(seed)
 	// Offset the index so index 0 does not hash the all-zero state.
 	is := uint64(index) + 0x6a09e667f3bcc909
-	return rand.New(&splitmixSource{state: splitmix64(&ss) ^ splitmix64(&is)})
+	return int64(splitmix64(&ss) ^ splitmix64(&is))
+}
+
+// NewRand returns the deterministic splitmix64 RNG seeded with the given
+// substream state; indexedRand(seed, i) == NewRand(SubSeed(seed, i)).
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(&splitmixSource{state: uint64(seed)})
+}
+
+// indexedRand returns the RNG for substream index of the stream identified
+// by seed.
+func indexedRand(seed int64, index int) *rand.Rand {
+	return NewRand(SubSeed(seed, index))
 }
 
 // ConfigAt derives the index-th configuration of the sampling stream

@@ -1,0 +1,78 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"armdse/internal/dataset"
+	"armdse/internal/params"
+)
+
+// Pareto extraction over the two study objectives: simulated cycles (per
+// application) and the params.CostProxy hardware-cost score. The front is
+// the set of configurations no other configuration beats on both axes —
+// the co-design menu a fixed-budget study actually chooses from, rather
+// than the single fastest point.
+
+// ParetoPoint is one dataset row projected onto the (cycles, cost) plane.
+type ParetoPoint struct {
+	// Row is the dataset row index the point came from.
+	Row int
+	// Cycles is the application's simulated cycle count (lower is better).
+	Cycles float64
+	// Cost is the configuration's CostProxy score (lower is better).
+	Cost float64
+}
+
+// ParetoFront returns the non-dominated subset of points — those with no
+// other point that is at least as good on both objectives and strictly
+// better on one — sorted by ascending cycles (and descending cost within
+// ties, the natural walk along the front). Input order does not affect the
+// result.
+func ParetoFront(points []ParetoPoint) []ParetoPoint {
+	if len(points) == 0 {
+		return nil
+	}
+	sorted := append([]ParetoPoint(nil), points...)
+	// Sort by cycles, then cost, then row for a total order; a single
+	// sweep tracking the best cost seen so far then yields the front.
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Cycles != b.Cycles {
+			return a.Cycles < b.Cycles
+		}
+		if a.Cost != b.Cost {
+			return a.Cost < b.Cost
+		}
+		return a.Row < b.Row
+	})
+	var front []ParetoPoint
+	bestCost := sorted[0].Cost + 1
+	for _, p := range sorted {
+		if p.Cost < bestCost {
+			front = append(front, p)
+			bestCost = p.Cost
+		}
+	}
+	return front
+}
+
+// ParetoFromDataset projects a collected dataset onto (cycles of app,
+// CostProxy) and extracts the front. The cost is recomputed from each
+// row's feature vector, so any dataset with the canonical 30-feature
+// layout works — including adaptively-collected ones.
+func ParetoFromDataset(d *dataset.Dataset, app string) ([]ParetoPoint, error) {
+	cycles, err := d.Target(app)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]ParetoPoint, d.Len())
+	for i := 0; i < d.Len(); i++ {
+		cfg, err := params.FromFeatures(d.X[i])
+		if err != nil {
+			return nil, fmt.Errorf("search: dataset row %d: %w", i, err)
+		}
+		points[i] = ParetoPoint{Row: i, Cycles: cycles[i], Cost: params.CostProxy(cfg)}
+	}
+	return ParetoFront(points), nil
+}

@@ -1,0 +1,418 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"armdse/internal/dtree"
+	"armdse/internal/orchestrate"
+	"armdse/internal/params"
+)
+
+// The adaptive proposal loop. A Proposer plugs into the collection engine's
+// BatchSource seam and decides, batch by batch, where to spend the
+// remaining simulation budget. Model-based strategies (ucb, ei, phased)
+// train one random forest per application on every completed row, score a
+// candidate pool with the ensemble mean and between-tree spread, and
+// propose the best-scoring candidates; uniform is the control that
+// reproduces the classic fixed sweep.
+//
+// Everything is deterministic given (seed, strategy, options): candidate
+// pools draw from splitmix64 substreams keyed (seed, generation, strategy)
+// via chained params.SubSeed, forests train on chained per-app seeds, and
+// ties break on candidate index. Combined with the engine's barrier
+// contract (the proposer only ever sees complete earlier batches), a run
+// yields byte-identical datasets at any -workers count and across
+// interrupt/resume.
+
+// Strategy names accepted by ProposeOptions.Strategy.
+const (
+	StrategyUniform = "uniform"
+	StrategyUCB     = "ucb"
+	StrategyEI      = "ei"
+	StrategyPhased  = "phased"
+)
+
+// strategyID keys the per-strategy RNG substream; part of the determinism
+// contract, do not renumber.
+var strategyID = map[string]int{
+	StrategyUniform: 0,
+	StrategyUCB:     1,
+	StrategyEI:      2,
+	StrategyPhased:  3,
+}
+
+// Strategies lists the acquisition strategies in CLI presentation order.
+func Strategies() []string {
+	return []string{StrategyUniform, StrategyUCB, StrategyEI, StrategyPhased}
+}
+
+// ProposeOptions configure a Proposer.
+type ProposeOptions struct {
+	// Strategy selects the acquisition strategy; empty means uniform.
+	Strategy string
+	// Seed drives candidate sampling and forest training. A uniform
+	// proposer with seed s proposes exactly params.ConfigAt(s, i) for
+	// every index i — the classic fixed sweep.
+	Seed int64
+	// Budget is the total number of configurations to propose; required.
+	Budget int
+	// Batch is the proposal batch size — the engine barriers and the
+	// forests refit between batches (default 64).
+	Batch int
+	// Pool is the candidate pool size scored per model-based batch
+	// (default 8×Batch).
+	Pool int
+	// Kappa is UCB's exploration weight on the between-tree spread
+	// (default 2.0).
+	Kappa float64
+	// Trees is the per-app forest size (default 20).
+	Trees int
+	// Workers bounds forest-training concurrency; the proposals are
+	// identical at every value.
+	Workers int
+	// Apps names the target applications whose cycles the forests model;
+	// required for model-based strategies.
+	Apps []string
+}
+
+func (o ProposeOptions) withDefaults() ProposeOptions {
+	if o.Strategy == "" {
+		o.Strategy = StrategyUniform
+	}
+	if o.Batch <= 0 {
+		o.Batch = 64
+	}
+	if o.Pool <= 0 {
+		o.Pool = 8 * o.Batch
+	}
+	if o.Kappa == 0 {
+		o.Kappa = 2.0
+	}
+	if o.Trees <= 0 {
+		o.Trees = 20
+	}
+	return o
+}
+
+// Proposer generates configuration batches for the engine's BatchSource
+// seam. Create with NewProposer; a Proposer is single-use (the engine calls
+// NextBatch serially for one run).
+type Proposer struct {
+	opt ProposeOptions
+
+	gen      int // NextBatch call count
+	proposed int // configurations proposed so far
+}
+
+// NewProposer validates the options and builds a proposer.
+func NewProposer(opt ProposeOptions) (*Proposer, error) {
+	opt = opt.withDefaults()
+	if _, ok := strategyID[opt.Strategy]; !ok {
+		return nil, fmt.Errorf("search: unknown strategy %q (want one of %v)", opt.Strategy, Strategies())
+	}
+	if opt.Budget <= 0 {
+		return nil, fmt.Errorf("search: proposal budget %d <= 0", opt.Budget)
+	}
+	if opt.Strategy != StrategyUniform && len(opt.Apps) == 0 {
+		return nil, fmt.Errorf("search: strategy %q needs the target application names", opt.Strategy)
+	}
+	return &Proposer{opt: opt}, nil
+}
+
+// Budget implements orchestrate.Budgeter.
+func (p *Proposer) Budget() int { return p.opt.Budget }
+
+// Digest identifies the proposal stream for a journal's resume-identity
+// stamp: every option that changes what gets proposed is in it, so
+// resuming against a differently-configured proposer is rejected at the
+// meta comparison.
+func (p *Proposer) Digest() string {
+	o := p.opt
+	return fmt.Sprintf("%s/s%d/n%d/b%d/p%d/k%g/t%d",
+		o.Strategy, o.Seed, o.Budget, o.Batch, o.Pool, o.Kappa, o.Trees)
+}
+
+// minTrainRows is the fewest non-failed prior rows a model-based strategy
+// will fit a forest on; below it the batch falls back to uniform sampling
+// (this covers the first batch — the warmup — and failure-heavy starts).
+const minTrainRows = 8
+
+// NextBatch implements orchestrate.BatchSource. The prior rows are all
+// completed earlier batches, sorted by index (the engine's contract);
+// whether each batch is model-guided or uniform depends only on them and
+// the options.
+func (p *Proposer) NextBatch(prior []orchestrate.Row) ([]params.Config, bool) {
+	n := p.opt.Batch
+	if rem := p.opt.Budget - p.proposed; rem <= 0 {
+		return nil, false
+	} else if n > rem {
+		n = rem
+	}
+	gen := p.gen
+	p.gen++
+
+	train := trainable(prior)
+	var batch []params.Config
+	if p.opt.Strategy == StrategyUniform || len(train) < minTrainRows {
+		batch = p.uniformBatch(n)
+	} else {
+		batch = p.modelBatch(n, gen, train)
+	}
+	p.proposed += len(batch)
+	return batch, true
+}
+
+// trainable filters prior rows to those a model can learn from.
+func trainable(prior []orchestrate.Row) []orchestrate.Row {
+	out := make([]orchestrate.Row, 0, len(prior))
+	for _, r := range prior {
+		if !r.Failed() && r.Targets != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// uniformBatch continues the classic indexed stream: configuration i is
+// params.ConfigAt(seed, i), so a uniform run (and every warmup/fallback
+// batch) draws from exactly the fixed sweep's configurations.
+func (p *Proposer) uniformBatch(n int) []params.Config {
+	batch := make([]params.Config, n)
+	for i := range batch {
+		batch[i] = params.ConfigAt(p.opt.Seed, p.proposed+i)
+	}
+	return batch
+}
+
+// modelBatch trains the per-app forests on the prior rows, draws the
+// strategy's candidate pool from the (seed, generation, strategy)
+// substream, scores it, and returns the n best candidates.
+func (p *Proposer) modelBatch(n, gen int, train []orchestrate.Row) []params.Config {
+	o := p.opt
+	genSeed := params.SubSeed(params.SubSeed(o.Seed, gen), strategyID[o.Strategy])
+
+	x := make([][]float64, len(train))
+	ys := make([][]float64, len(o.Apps))
+	for ai := range o.Apps {
+		ys[ai] = make([]float64, len(train))
+	}
+	for i, r := range train {
+		x[i] = r.Features
+		for ai, app := range o.Apps {
+			v := r.Targets[app]
+			if v < 1 {
+				v = 1
+			}
+			ys[ai][i] = math.Log(v)
+		}
+	}
+	forests := make([]*dtree.Forest, len(o.Apps))
+	for ai := range o.Apps {
+		f, err := dtree.TrainForest(x, ys[ai], dtree.ForestOptions{
+			Trees:   o.Trees,
+			Seed:    params.SubSeed(genSeed, ai),
+			Workers: o.Workers,
+		})
+		if err != nil {
+			// Training can only fail on an empty set, which trainable()
+			// already excluded — but degrade to uniform rather than panic.
+			return p.uniformBatch(n)
+		}
+		forests[ai] = f
+	}
+
+	rng := params.NewRand(genSeed)
+	var cands []params.Config
+	switch o.Strategy {
+	case StrategyPhased:
+		cands = p.phasedCandidates(rng, train, ys)
+	default:
+		cands = make([]params.Config, o.Pool)
+		for i := range cands {
+			cands[i] = params.Sample(rng)
+		}
+	}
+
+	type scored struct {
+		idx   int
+		score float64
+	}
+	scores := make([]scored, len(cands))
+	for i, cfg := range cands {
+		feats := cfg.Features()
+		var s float64
+		for ai := range o.Apps {
+			mean, std := forests[ai].PredictStats(feats)
+			switch o.Strategy {
+			case StrategyEI:
+				s -= expectedImprovement(minOf(ys[ai]), mean, std)
+			case StrategyPhased:
+				s += mean // exploit within the phase's mutation set
+			default: // ucb
+				s += mean - o.Kappa*std
+			}
+		}
+		scores[i] = scored{idx: i, score: s}
+	}
+	if o.Strategy == StrategyPhased {
+		// Lowest summed forest mean wins: exploit within the phase's
+		// mutation set (the phase schedule itself is the exploration).
+		// Ties break on candidate index so the ordering is total.
+		sort.Slice(scores, func(a, b int) bool {
+			if scores[a].score != scores[b].score {
+				return scores[a].score < scores[b].score
+			}
+			return scores[a].idx < scores[b].idx
+		})
+		if n > len(scores) {
+			n = len(scores)
+		}
+		batch := make([]params.Config, n)
+		for i := 0; i < n; i++ {
+			batch[i] = cands[scores[i].idx]
+		}
+		return batch
+	}
+
+	// ucb/ei batch assembly. Taking the global top-n of one pool collapses
+	// the whole batch onto the model's current optimum basin, which is fine
+	// for pure optimization but starves the rest of the space — and the
+	// importance rankings learned from it — of samples. Two standard batch
+	// diversity devices instead: tournament selection (each exploit slot
+	// takes the best-scoring candidate of its own disjoint pool chunk, a
+	// best-of-k draw that favours the acquisition without piling onto one
+	// mode) for 1−1/exploreDiv of the batch, and epsilon-greedy mixing
+	// (uniform draws continuing the same generation substream, so
+	// determinism holds) for the remaining 1/exploreDiv.
+	nExploit := n - n/exploreDiv
+	if nExploit > len(cands) {
+		nExploit = len(cands)
+	}
+	batch := make([]params.Config, 0, n)
+	if nExploit > 0 {
+		chunk := len(cands) / nExploit
+		for j := 0; j < nExploit; j++ {
+			lo := j * chunk
+			hi := lo + chunk
+			if j == nExploit-1 {
+				hi = len(cands) // the last slot absorbs the remainder
+			}
+			best := lo
+			for i := lo + 1; i < hi; i++ {
+				if scores[i].score < scores[best].score {
+					best = i // strict < breaks ties on candidate index
+				}
+			}
+			batch = append(batch, cands[best])
+		}
+	}
+	for len(batch) < n {
+		batch = append(batch, params.Sample(rng))
+	}
+	return batch
+}
+
+// exploreDiv sets the uniform-exploration slice of each model-guided
+// ucb/ei batch to 1/exploreDiv of the proposals.
+const exploreDiv = 2
+
+// Parameter groups for the phased strategy, as canonical feature indices:
+// the memory hierarchy first (the paper's dominant importance block), then
+// functional-unit/bandwidth throughput, then the out-of-order pipeline.
+var phaseGroups = [3][]int{
+	{ // caches and memory system
+		params.FCacheLineWidth, params.FL1DSize, params.FL1DAssoc, params.FL1DLatency,
+		params.FL1DClockGHz, params.FL1DMSHRs, params.FL2Size, params.FL2Assoc,
+		params.FL2Latency, params.FL2ClockGHz, params.FRAMLatencyNs, params.FRAMBandwidthGBs,
+	},
+	{ // vector width, bandwidths, per-cycle memory throughput
+		params.FVectorLength, params.FLoadBandwidth, params.FStoreBandwidth,
+		params.FMemRequestsPerCycle, params.FMemLoadsPerCycle, params.FMemStoresPerCycle,
+	},
+	{ // out-of-order pipeline structures
+		params.FFetchBlockSize, params.FLoopBufferSize, params.FGPRegisters,
+		params.FFPSVERegisters, params.FPredRegisters, params.FCondRegisters,
+		params.FCommitWidth, params.FFrontendWidth, params.FLSQCompletionWidth,
+		params.FROBSize, params.FLoadQueueSize, params.FStoreQueueSize,
+	},
+}
+
+// phasedCandidates implements the coordinate-descent-flavoured strategy:
+// split the budget into thirds (cache → FU/bandwidth → pipeline), pin the
+// incumbent best configuration, and propose candidates that mutate only
+// the active phase's parameter group — the "sweep one subsystem at a time"
+// shape of staged DSE studies. Mutations go through Decode, so every
+// candidate lands on the constrained grid.
+func (p *Proposer) phasedCandidates(rng *rand.Rand, train []orchestrate.Row, ys [][]float64) []params.Config {
+	o := p.opt
+	phase := 0
+	switch {
+	case p.proposed >= o.Budget*2/3:
+		phase = 2
+	case p.proposed >= o.Budget/3:
+		phase = 1
+	}
+	group := phaseGroups[phase]
+
+	// Incumbent: the completed row with the lowest summed log-cycles.
+	best, bestScore := 0, math.Inf(1)
+	for i := range train {
+		var s float64
+		for ai := range ys {
+			s += ys[ai][i]
+		}
+		if s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	incumbent := train[best].Features
+
+	space := params.Space()
+	cands := make([]params.Config, 0, o.Pool)
+	for tries := 0; len(cands) < o.Pool && tries < 10*o.Pool; tries++ {
+		feats := append([]float64(nil), incumbent...)
+		for _, fi := range group {
+			vals := space[fi].Values()
+			feats[fi] = vals[rng.Intn(len(vals))]
+		}
+		// Decode is total over grid values (snap is the identity, Repair
+		// handles the dependent constraints), so the error branch is a
+		// safety net, not an expected path.
+		cfg, err := params.Decode(feats)
+		if err != nil {
+			continue
+		}
+		cands = append(cands, cfg)
+	}
+	return cands
+}
+
+// expectedImprovement is the closed-form EI of a Gaussian posterior for
+// minimisation: improvement over the incumbent best times its probability,
+// plus the spread's exploration term.
+func expectedImprovement(best, mean, std float64) float64 {
+	imp := best - mean
+	if std <= 0 {
+		if imp > 0 {
+			return imp
+		}
+		return 0
+	}
+	z := imp / std
+	cdf := 0.5 * (1 + math.Erf(z/math.Sqrt2))
+	pdf := math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+	return imp*cdf + std*pdf
+}
+
+func minOf(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, v := range xs {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

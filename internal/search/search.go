@@ -128,7 +128,7 @@ func refine(obj Objective, cfg params.Config, score float64, opt Options) (param
 				if err != nil {
 					continue
 				}
-				repair(&cand)
+				params.Repair(&cand)
 				if cand.Validate() != nil {
 					continue
 				}
@@ -149,22 +149,4 @@ func refine(obj Objective, cfg params.Config, score float64, opt Options) (param
 		}
 	}
 	return cfg, score, evals
-}
-
-// repair restores the paper's dependent constraints after a single-parameter
-// move, adjusting the dependent side upward to the nearest legal value.
-func repair(cfg *params.Config) {
-	vecBytes := cfg.Core.VectorLength / 8
-	for cfg.Core.LoadBandwidth < vecBytes {
-		cfg.Core.LoadBandwidth *= 2
-	}
-	for cfg.Core.StoreBandwidth < vecBytes {
-		cfg.Core.StoreBandwidth *= 2
-	}
-	for cfg.Mem.L2Size <= cfg.Mem.L1DSize {
-		cfg.Mem.L2Size *= 2
-	}
-	if cfg.Mem.L2Latency <= cfg.Mem.L1DLatency {
-		cfg.Mem.L2Latency = cfg.Mem.L1DLatency + 2
-	}
 }

@@ -136,7 +136,7 @@ func TestRepair(t *testing.T) {
 	cfg.Core.StoreBandwidth = 16
 	cfg.Mem.L2Size = cfg.Mem.L1DSize
 	cfg.Mem.L2Latency = cfg.Mem.L1DLatency
-	repair(&cfg)
+	params.Repair(&cfg)
 	if err := cfg.Validate(); err != nil {
 		t.Errorf("repair left config invalid: %v", err)
 	}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpearmanRank(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"identical order", []float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}, 1},
+		{"reversed order", []float64{1, 2, 3, 4}, []float64{4, 3, 2, 1}, -1},
+		{"monotone nonlinear", []float64{1, 2, 3, 4, 5}, []float64{1, 4, 9, 16, 25}, 1},
+		// Classic textbook pair: ranks (1,2,3,4,5) vs (2,1,4,3,5) → 0.8.
+		{"partial agreement", []float64{1, 2, 3, 4, 5}, []float64{2, 1, 4, 3, 5}, 0.8},
+	}
+	for _, c := range cases {
+		got, err := SpearmanRank(c.a, c.b)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: rho = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSpearmanRankTies(t *testing.T) {
+	// A tied block must not poison the coefficient: the four zeros share
+	// an average rank in both samples, so the orderable pairs dominate.
+	a := []float64{5, 4, 0, 0, 0, 0}
+	b := []float64{50, 40, 0, 0, 0, 0}
+	got, err := SpearmanRank(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("tied-block rho = %v, want 1", got)
+	}
+	// Swapping the two informative features flips only their pair.
+	b2 := []float64{40, 50, 0, 0, 0, 0}
+	got2, err := SpearmanRank(a, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 >= got {
+		t.Errorf("swapped informative pair did not lower rho: %v >= %v", got2, got)
+	}
+}
+
+func TestSpearmanRankErrors(t *testing.T) {
+	if _, err := SpearmanRank([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := SpearmanRank([]float64{1}, []float64{1}); err == nil {
+		t.Error("single pair accepted")
+	}
+	if _, err := SpearmanRank([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant sample accepted")
+	}
+}

@@ -1,0 +1,272 @@
+// Command adaptivebench measures the adaptive search loop's sample
+// efficiency: how well does a budget-limited run recover the full uniform
+// sweep's feature-importance ranking? It collects one full uniform sweep as
+// the reference, then scores uniform (control) and ucb (adaptive) runs at a
+// series of smaller budgets by the Spearman rank correlation between each
+// run's forest permutation importances and the reference's, averaged over
+// the applications. The uniform control at budget b is the first b rows of
+// the reference sweep — by the indexed-sampling contract those are exactly
+// what `dsegen -samples b` would simulate, so no re-simulation is needed.
+//
+// Output is one JSON object on stdout, embedded by scripts/bench.sh as the
+// "adaptive_sweep" entry of BENCH_simeng.json.
+//
+// Usage:
+//
+//	go run ./scripts/adaptivebench -full 4000 -budgets 1000,2000,4000
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"armdse"
+	"armdse/internal/dataset"
+	"armdse/internal/dtree"
+	"armdse/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "adaptivebench:", err)
+		os.Exit(1)
+	}
+}
+
+type point struct {
+	Configs        int     `json:"configs"`
+	UniformRhoMean float64 `json:"uniform_rho_mean"`
+	UniformRhoMin  float64 `json:"uniform_rho_min"`
+	UCBRhoMean     float64 `json:"ucb_rho_mean"`
+	UCBRhoMin      float64 `json:"ucb_rho_min"`
+	UCBWallMs      int64   `json:"ucb_wall_ms"`
+}
+
+type reportJSON struct {
+	Description string  `json:"description"`
+	Seed        int64   `json:"seed"`
+	FullSamples int     `json:"full_samples"`
+	FullWallMs  int64   `json:"full_wall_ms"`
+	Trees       int     `json:"trees"`
+	Repeats     int     `json:"repeats"`
+	Points      []point `json:"points"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("adaptivebench", flag.ContinueOnError)
+	var (
+		full    = fs.Int("full", 4000, "full-sweep reference budget (configs)")
+		budgets = fs.String("budgets", "1000,2000,4000", "comma-separated adaptive budgets to score")
+		seed    = fs.Int64("seed", 11, "sampling seed")
+		workers = fs.Int("workers", 0, "worker pool size (0 = all cores)")
+		trees   = fs.Int("trees", 20, "forest size for the importance models")
+		repeats = fs.Int("repeats", 5, "permutation-importance repeats")
+		kappa   = fs.Float64("kappa", 0, "ucb exploration weight (0 = default)")
+		batch   = fs.Int("batch", 0, "proposal batch size: configs per generation barrier (0 = default)")
+		refCSV  = fs.String("ref", "", "reference-sweep CSV cache: load it if the file exists, else collect and write it (collection parameters must match — the cache is keyed by nothing but its path)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var bs []int
+	for _, s := range strings.Split(*budgets, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || b <= 0 || b > *full {
+			return fmt.Errorf("bad budget %q (must be in 1..%d)", s, *full)
+		}
+		bs = append(bs, b)
+	}
+
+	ctx := context.Background()
+	suite := armdse.TestSuite()
+	apps := armdse.SuiteNames(suite)
+
+	t0 := time.Now()
+	var refData *dataset.Dataset
+	if *refCSV != "" {
+		if d, err := dataset.LoadFile(*refCSV); err == nil {
+			if d.Len() != *full {
+				return fmt.Errorf("reference cache %s holds %d configs, want %d (stale cache?)", *refCSV, d.Len(), *full)
+			}
+			refData = d
+			fmt.Fprintf(os.Stderr, "reference sweep: %d configs loaded from %s\n", d.Len(), *refCSV)
+		}
+	}
+	if refData == nil {
+		ref, err := armdse.Collect(ctx, armdse.CollectOptions{
+			Seed: *seed, Samples: *full, Workers: *workers, Suite: suite,
+		})
+		if err != nil {
+			return err
+		}
+		refData = ref.Data
+		if *refCSV != "" {
+			if err := refData.SaveFile(*refCSV); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "reference sweep: %d configs in %s\n", refData.Len(), time.Since(t0).Round(time.Second))
+	}
+	fullWall := time.Since(t0)
+
+	// impOf trains a forest on d and scores its permutation importances on
+	// the reference sweep's rows. The common evaluation set (and the shared
+	// shuffle seed) makes the comparison paired: two runs' importance
+	// vectors differ only through the models their samples trained, not
+	// through which rows happened to be shuffled.
+	// Cycle counts span orders of magnitude across the design space, so an
+	// MAE-based importance on raw cycles is dominated by the slowest
+	// configurations. Training and scoring in log space (as the proposer's
+	// own online forests do) measures relative-error structure instead,
+	// which is the ranking the paper's analysis cares about.
+	logOf := func(y []float64) []float64 {
+		out := make([]float64, len(y))
+		for i, v := range y {
+			out[i] = math.Log(math.Max(v, 1))
+		}
+		return out
+	}
+	impOf := func(d *dataset.Dataset, app string) ([]float64, error) {
+		y, err := d.Target(app)
+		if err != nil {
+			return nil, err
+		}
+		f, err := dtree.TrainForest(d.X, logOf(y), dtree.ForestOptions{Trees: *trees, Seed: *seed, Workers: *workers})
+		if err != nil {
+			return nil, err
+		}
+		refY, err := refData.Target(app)
+		if err != nil {
+			return nil, err
+		}
+		imps, err := dtree.PermutationImportanceModel(f, refData.X, logOf(refY), refData.FeatureNames,
+			dtree.ImportanceOptions{Repeats: *repeats, Seed: *seed, Workers: *workers})
+		if err != nil {
+			return nil, err
+		}
+		vec := make([]float64, len(imps))
+		maxImp := 0.0
+		for _, im := range imps {
+			vec[im.Index] = math.Abs(im.MeanErrorIncrease)
+			if vec[im.Index] > maxImp {
+				maxImp = vec[im.Index]
+			}
+		}
+		// Clamp the noise floor: a permutation importance below 1% of the
+		// top feature's is measurement noise, and leaving such features
+		// with distinct tiny values would assign the ~two-thirds of the
+		// space that does not matter random ranks. Zeroing them makes the
+		// irrelevant block an exact tie, which the fractional-rank Spearman
+		// handles as intended — the coefficient then measures agreement on
+		// the ranking that matters.
+		for i, v := range vec {
+			if v < 0.01*maxImp {
+				vec[i] = 0
+			}
+		}
+		return vec, nil
+	}
+	refImp := map[string][]float64{}
+	for _, app := range apps {
+		imp, err := impOf(refData, app)
+		if err != nil {
+			return err
+		}
+		refImp[app] = imp
+	}
+	rhoOf := func(d *dataset.Dataset) (mean, min float64, err error) {
+		min = 1
+		for _, app := range apps {
+			imp, err := impOf(d, app)
+			if err != nil {
+				return 0, 0, err
+			}
+			rho, err := stats.SpearmanRank(refImp[app], imp)
+			if err != nil {
+				return 0, 0, err
+			}
+			mean += rho / float64(len(apps))
+			if rho < min {
+				min = rho
+			}
+		}
+		return mean, min, nil
+	}
+
+	rep := reportJSON{
+		Description: "Spearman rank correlation of forest feature importances vs the full uniform sweep, per budget: uniform prefix (control) vs ucb adaptive proposals",
+		Seed:        *seed,
+		FullSamples: refData.Len(),
+		FullWallMs:  fullWall.Milliseconds(),
+		Trees:       *trees,
+		Repeats:     *repeats,
+	}
+	for _, b := range bs {
+		// Uniform control: the budget-b prefix of the reference sweep.
+		sub := dataset.New(refData.FeatureNames, apps)
+		for i := 0; i < b && i < refData.Len(); i++ {
+			targets := map[string]float64{}
+			for _, app := range apps {
+				y, err := refData.Target(app)
+				if err != nil {
+					return err
+				}
+				targets[app] = y[i]
+			}
+			if err := sub.Append(refData.X[i], targets); err != nil {
+				return err
+			}
+		}
+		uMean, uMin, err := rhoOf(sub)
+		if err != nil {
+			return err
+		}
+
+		prop, err := armdse.NewProposer(armdse.ProposeOptions{
+			Strategy: armdse.StrategyUCB,
+			Seed:     *seed,
+			Budget:   b,
+			Batch:    *batch,
+			Kappa:    *kappa,
+			Workers:  *workers,
+			Apps:     apps,
+		})
+		if err != nil {
+			return err
+		}
+		t1 := time.Now()
+		adaptive, err := armdse.Collect(ctx, armdse.CollectOptions{
+			Suite: suite, Workers: *workers, Batches: prop,
+		})
+		if err != nil {
+			return err
+		}
+		aMean, aMin, err := rhoOf(adaptive.Data)
+		if err != nil {
+			return err
+		}
+		rep.Points = append(rep.Points, point{
+			Configs:        b,
+			UniformRhoMean: round3(uMean),
+			UniformRhoMin:  round3(uMin),
+			UCBRhoMean:     round3(aMean),
+			UCBRhoMin:      round3(aMin),
+			UCBWallMs:      time.Since(t1).Milliseconds(),
+		})
+		fmt.Fprintf(os.Stderr, "budget %d: uniform rho %.3f (min %.3f), ucb rho %.3f (min %.3f)\n",
+			b, uMean, uMin, aMean, aMin)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }

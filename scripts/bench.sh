@@ -22,6 +22,16 @@
 # fast path, so it defaults to 1.0 (predict whenever the forest agrees to
 # within e^1.0) rather than the binary's conservative default, and the
 # report records the threshold it measured.
+#
+# Also records the adaptive search loop's sample-efficiency fixture under
+# "adaptive_sweep": scripts/adaptivebench collects a full uniform reference
+# sweep and scores uniform-prefix vs ucb runs at smaller budgets by the
+# Spearman rank correlation of forest feature importances against the
+# reference (see that command's doc comment). The golden fixture (8000
+# reference configs, budgets 1000/2000/4000) takes tens of minutes, so:
+# ADAPTIVE_SWEEP=0 skips it, ADAPTIVE_FULL / ADAPTIVE_BUDGETS shrink it,
+# and ADAPTIVE_JSON=path embeds a report produced by an earlier standalone
+# `go run ./scripts/adaptivebench` run instead of re-collecting.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +41,10 @@ EVAL_SWEEP="${EVAL_SWEEP:-1}"
 EVAL_SAMPLES="${EVAL_SAMPLES:-200}"
 EVAL_SEED="${EVAL_SEED:-11}"
 EVAL_ESCALATE="${EVAL_ESCALATE:-1.0}"
+ADAPTIVE_SWEEP="${ADAPTIVE_SWEEP:-1}"
+ADAPTIVE_FULL="${ADAPTIVE_FULL:-8000}"
+ADAPTIVE_BUDGETS="${ADAPTIVE_BUDGETS:-1000,2000,4000}"
+ADAPTIVE_JSON="${ADAPTIVE_JSON:-}"
 PKGS=(./internal/simeng ./internal/sstmem ./internal/orchestrate)
 
 raw=$(go test -run '^$' -bench . -benchtime "$BENCHTIME" "${PKGS[@]}")
@@ -52,6 +66,15 @@ if [[ "$EVAL_SWEEP" == "1" ]]; then
 		--escalate-threshold "$EVAL_ESCALATE")
 fi
 
+adaptive_json=""
+if [[ -n "$ADAPTIVE_JSON" ]]; then
+	adaptive_json=$(cat "$ADAPTIVE_JSON")
+elif [[ "$ADAPTIVE_SWEEP" == "1" ]]; then
+	adaptive_json=$(go run ./scripts/adaptivebench \
+		-full "$ADAPTIVE_FULL" -budgets "$ADAPTIVE_BUDGETS" \
+		-trees 30 -repeats 10 -kappa 4)
+fi
+
 {
 	printf '{\n'
 	printf '  "benchtime": "%s",\n' "$BENCHTIME"
@@ -66,6 +89,9 @@ fi
 	fi
 	if [[ -n "$eval_json" ]]; then
 		printf '  "eval_sweep": %s,\n' "$(sed '1!s/^/  /' <<<"$eval_json")"
+	fi
+	if [[ -n "$adaptive_json" ]]; then
+		printf '  "adaptive_sweep": %s,\n' "$(sed '1!s/^/  /' <<<"$adaptive_json")"
 	fi
 	printf '  "benchmarks": [\n'
 	# Benchmark lines look like:
