@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"armdse/internal/dataset"
+	"armdse/internal/fabric"
+	"armdse/internal/orchestrate"
+)
+
+// syncBuf is a concurrency-safe writer: the coordinator goroutine writes its
+// stderr here while the test polls it for the bound address.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var coordURLRe = regexp.MustCompile(`coordinator: (http://[^\s/]+)/`)
+
+// waitForURL polls the coordinator's stderr for the startup line that
+// announces the kernel-assigned port.
+func waitForURL(t *testing.T, buf *syncBuf) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := coordURLRe.FindStringSubmatch(buf.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("coordinator never announced its address:\n%s", buf.String())
+	return ""
+}
+
+// TestRunFleetMatchesSingleProcess drives the dsecoord entrypoint end to
+// end — coordinator on a kernel-assigned port, two in-process workers — and
+// checks the written dataset is byte-identical to the single-process
+// pipeline, the journal directory is cleaned up, and the runlog validates
+// structurally (meta first, lease events, summary last).
+func TestRunFleetMatchesSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulating real workloads; skipped in -short")
+	}
+	const seed, samples = 3, 6
+	spec := fabric.NewSpec(seed, samples, false)
+
+	// Single-process reference: journal, compact, CSV — the dsegen pipeline.
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "ref.journal")
+	sw, err := dataset.CreateStreamAux(journal, spec.Features, spec.Apps, spec.Aux, spec.Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orchestrate.Collect(context.Background(), orchestrate.Options{
+		Seed: seed, Samples: samples, Suite: spec.Suite(),
+		Sink: orchestrate.StreamSink{W: sw},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	refDS, _, err := dataset.CompactStream(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref bytes.Buffer
+	if err := refDS.WriteCSV(&ref); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "fleet.csv")
+	var stdout bytes.Buffer
+	var stderr syncBuf
+	coordErr := make(chan error, 1)
+	go func() {
+		coordErr <- run(context.Background(), []string{
+			"-addr", "127.0.0.1:0", "-samples", "6", "-seed", "3", "-out", out,
+			// Workers poll every 20ms, so half a second of linger guarantees
+			// both observe done:true instead of a vanished coordinator.
+			"-lease", "2", "-chunk", "1", "-expiry", "10s", "-linger", "500ms", "-q",
+		}, &stdout, &stderr)
+	}()
+	url := waitForURL(t, &stderr)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 2)
+	for i := range workerErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			workerErrs[i] = fabric.RunWorker(ctx, fabric.WorkerConfig{
+				Coord: url, Name: []string{"wa", "wb"}[i], Threads: 1,
+				PollEvery: 20 * time.Millisecond,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range workerErrs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if err := <-coordErr; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref.Bytes()) {
+		t.Errorf("fleet dataset differs from single-process reference (%d vs %d bytes)", len(got), ref.Len())
+	}
+	if !strings.Contains(stdout.String(), "6 rows x") || !strings.Contains(stdout.String(), "2 workers") {
+		t.Errorf("summary = %q", stdout.String())
+	}
+	if _, err := os.Stat(out + ".fabric"); !os.IsNotExist(err) {
+		t.Error("journal directory not cleaned up")
+	}
+
+	// Runlog structure: meta first, summary last, lease events in between.
+	lines := readLines(t, out+".runlog.jsonl")
+	if len(lines) < 3 {
+		t.Fatalf("runlog has %d lines", len(lines))
+	}
+	types := make([]string, len(lines))
+	leaseEvents := map[string]int{}
+	for i, line := range lines {
+		var rec struct {
+			Type  string `json:"type"`
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("runlog line %d: %v", i+1, err)
+		}
+		types[i] = rec.Type
+		if rec.Type == "lease" {
+			leaseEvents[rec.Event]++
+		}
+	}
+	if types[0] != "meta" || types[len(types)-1] != "summary" {
+		t.Errorf("runlog frame = %v", types)
+	}
+	// 3 leases of 2 configs: at least one grant and one complete per lease.
+	if leaseEvents["grant"] < 3 || leaseEvents["complete"] != 3 {
+		t.Errorf("lease events = %v", leaseEvents)
+	}
+}
+
+func readLines(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	for name, args := range map[string][]string{
+		"unknown-flag": {"-nope"},
+		"zero-samples": {"-samples", "0", "-q"},
+	} {
+		if err := run(context.Background(), args, &buf, &buf); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestRunRunlogDisabled(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ds.csv")
+	var stdout bytes.Buffer
+	var stderr syncBuf
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-samples", "4", "-out", out,
+			"-runlog", "none", "-linger", "0s", "-q",
+		}, &stdout, &stderr)
+	}()
+	waitForURL(t, &stderr)
+	cancel() // no workers: interrupt the idle coordinator
+	if err := <-done; err == nil {
+		t.Error("interrupted coordinator reported success")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), "runlog") {
+			t.Errorf("-runlog none still wrote %s", e.Name())
+		}
+	}
+}

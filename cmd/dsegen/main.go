@@ -27,6 +27,12 @@
 //	dsegen -seed 1 -out dataset.csv -search ucb -search-budget 500 -search-batch 50
 //	dsegen -samples 2000 -seed 1 -out dataset.csv -http :8080
 //	dsegen -samples 2000 -seed 1 -out dataset.csv -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	dsegen -worker http://coord-host:8070
+//
+// In -worker mode dsegen joins a dsecoord fleet: the coordinator owns the
+// run identity (seed, samples, suite, output), leases contiguous
+// config-index ranges to each worker, and merges the uploaded rows into one
+// dataset byte-identical to a single-process run — see cmd/dsecoord.
 package main
 
 import (
@@ -39,10 +45,12 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
 	"armdse"
+	"armdse/internal/fabric"
 )
 
 // profileTo starts CPU profiling into cpuPath (empty = off) and returns a
@@ -124,6 +132,50 @@ func batchSource(p *armdse.Proposer) armdse.BatchSource {
 	return p
 }
 
+// workerAllowedFlags are the flags meaningful in -worker mode: everything
+// else describes a local run, whose parameters a fleet worker takes from
+// the coordinator instead.
+var workerAllowedFlags = map[string]bool{
+	"worker": true, "worker-name": true, "workers": true,
+	"q": true, "cpuprofile": true, "memprofile": true,
+}
+
+// validateFlags rejects invalid flag combinations up front — before the
+// journal, runlog or any other side effect exists — so a typo never leaves
+// a stray file behind:
+//
+//   - -worker excludes every run-parameter flag (the coordinator owns the
+//     run identity; a locally-set -seed or -samples would be silently
+//     ignored at best and a split-brain run at worst);
+//   - -eval must name a known evaluator (previously checked deep inside
+//     the engine, after the journal was created);
+//   - -search and -shard are mutually exclusive (proposal batches depend
+//     on every earlier result, so the index space cannot be partitioned).
+func validateFlags(fs *flag.FlagSet, worker, eval, search, shard string) error {
+	if worker != "" {
+		var bad []string
+		fs.Visit(func(f *flag.Flag) {
+			if !workerAllowedFlags[f.Name] {
+				bad = append(bad, "-"+f.Name)
+			}
+		})
+		if len(bad) > 0 {
+			sort.Strings(bad)
+			return fmt.Errorf("%s cannot be combined with -worker: a fleet worker takes its run parameters from the coordinator (compatible flags: -workers, -worker-name, -q, -cpuprofile, -memprofile)",
+				strings.Join(bad, ", "))
+		}
+	}
+	switch eval {
+	case "", armdse.EvalExact, armdse.EvalBound, armdse.EvalHybrid:
+	default:
+		return fmt.Errorf("unknown evaluator %q (want %s, %s or %s)", eval, armdse.EvalExact, armdse.EvalBound, armdse.EvalHybrid)
+	}
+	if search != "" && shard != "" {
+		return fmt.Errorf("-search and -shard are incompatible: proposal batches depend on every earlier result, so the index space cannot be partitioned across machines")
+	}
+	return nil
+}
+
 // parseShard parses "i/n" into (i, n).
 func parseShard(s string) (int, int, error) {
 	var i, n int
@@ -160,8 +212,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		httpAddr = fs.String("http", "", "serve the live monitor (/metrics, /status, /debug/vars, /debug/pprof) on this address, e.g. :8080")
 		linger   = fs.Duration("http-linger", 0, "keep the -http server up this long after the sweep finishes (for scrapers; interrupt exits early)")
 		runlog   = fs.String("runlog", "", "structured JSONL run journal path (default <out>.runlog.jsonl; \"none\" disables)")
+		worker   = fs.String("worker", "", "join a dsecoord fleet at this coordinator URL (e.g. http://host:8070) instead of running a local sweep")
+		workerID = fs.String("worker-name", "", "worker identity reported to the coordinator (default host:pid)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateFlags(fs, *worker, *eval, *srch, *shard); err != nil {
 		return err
 	}
 	if *samples <= 0 {
@@ -177,6 +234,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				fmt.Fprintln(stderr, "dsegen: profile:", err)
 			}
 		}()
+	}
+	if *worker != "" {
+		var logw io.Writer
+		if !*quiet {
+			logw = stderr
+		}
+		return fabric.RunWorker(ctx, fabric.WorkerConfig{
+			Coord:   strings.TrimRight(*worker, "/"),
+			Name:    *workerID,
+			Threads: *workers,
+			Log:     logw,
+		})
 	}
 	// Validate the shard spec before the journal exists, so a typo does not
 	// leave a stray empty journal behind.
@@ -201,9 +270,6 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	var proposer *armdse.Proposer
 	budget := *samples
 	if *srch != "" {
-		if *shard != "" {
-			return fmt.Errorf("-search and -shard are incompatible: proposal batches depend on every earlier result, so the index space cannot be partitioned across machines")
-		}
 		if *srchBud > 0 {
 			budget = *srchBud
 		}

@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Multi-journal compaction. The distributed sweep fabric's coordinator
+// streams each lease's rows into its own journal; MergeStreams compacts the
+// set back into one dataset, with the same guarantees CompactStream gives a
+// single journal plus cross-journal ones:
+//
+//   - every journal must carry an identical header — features, targets, aux
+//     columns and the _meta: identity stamp — so rows from two different
+//     sampling streams (seed, samples, suite) can never be mixed;
+//   - duplicate indices are allowed only when the records are value-identical
+//     (a lease re-run after an expiry resimulates deterministically, so true
+//     duplicates are byte-equal); the first record wins, matching
+//     StreamWriter.AppendFull;
+//   - records that disagree about an index are an error, never a silent
+//     drop — a conflicting duplicate means two workers computed different
+//     rows for one configuration, which breaks the byte-identity invariant
+//     and must surface.
+//
+// The merged dataset is sorted by global index, so for any partition of an
+// index space into journals the output is byte-identical to the
+// single-journal compaction of the same rows.
+
+// MergeStreams reads the given collection journals and compacts them into
+// one dataset, returning the number of failed (dropped) configurations.
+// The result is independent of the order paths are given in.
+func MergeStreams(paths []string) (*Dataset, int, error) {
+	if len(paths) == 0 {
+		return nil, 0, fmt.Errorf("dataset: merging zero journals")
+	}
+	var schema StreamSchema
+	byIndex := make(map[int]StreamRow)
+	for i, path := range paths {
+		s, rows, err := ReadStreamRows(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		if i == 0 {
+			schema = s
+		} else if err := sameSchema(schema, s); err != nil {
+			return nil, 0, fmt.Errorf("dataset: merging %s with %s: %w", paths[0], path, err)
+		}
+		for _, r := range rows {
+			prev, dup := byIndex[r.Index]
+			if !dup {
+				byIndex[r.Index] = r
+				continue
+			}
+			if !sameRow(prev, r) {
+				return nil, 0, fmt.Errorf("dataset: journals disagree about index %d (%s)", r.Index, path)
+			}
+		}
+	}
+	merged := make([]StreamRow, 0, len(byIndex))
+	for _, r := range byIndex {
+		merged = append(merged, r)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Index < merged[j].Index })
+
+	failed := 0
+	d := NewWithAux(schema.Features, schema.Apps, schema.AuxNames)
+	for _, r := range merged {
+		if r.Failed {
+			failed++
+			continue
+		}
+		if err := d.AppendFull(r.Features, r.Targets, r.Aux); err != nil {
+			return nil, 0, err
+		}
+	}
+	return d, failed, nil
+}
+
+// sameSchema reports whether two journal schemas describe the same
+// collection, down to the identity stamp.
+func sameSchema(a, b StreamSchema) error {
+	if a.Meta != b.Meta {
+		return fmt.Errorf("journal identity %q vs %q", a.Meta, b.Meta)
+	}
+	if err := sameColumns("feature", a.Features, b.Features); err != nil {
+		return err
+	}
+	if err := sameColumns("target", a.Apps, b.Apps); err != nil {
+		return err
+	}
+	return sameColumns("aux", a.AuxNames, b.AuxNames)
+}
+
+func sameColumns(kind string, a, b []string) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%s columns differ: %d vs %d", kind, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("%s column %d differs: %q vs %q", kind, i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+// sameRow reports whether two records for the same index are
+// value-identical. Deterministic resimulation yields bit-equal floats, so
+// exact comparison is the correct test.
+func sameRow(a, b StreamRow) bool {
+	if a.Failed != b.Failed || len(a.Features) != len(b.Features) {
+		return false
+	}
+	for i := range a.Features {
+		if a.Features[i] != b.Features[i] {
+			return false
+		}
+	}
+	if len(a.Targets) != len(b.Targets) || len(a.Aux) != len(b.Aux) {
+		return false
+	}
+	for k, v := range a.Targets {
+		if bv, ok := b.Targets[k]; !ok || bv != v {
+			return false
+		}
+	}
+	for k, v := range a.Aux {
+		if bv, ok := b.Aux[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}

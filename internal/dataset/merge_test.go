@@ -1,0 +1,187 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// journalRow is one record for the test journal writer.
+type journalRow struct {
+	index    int
+	failed   bool
+	features []float64
+	target   float64
+	aux      float64
+}
+
+const mergeTestMeta = "seed=7 samples=6 paper=false"
+
+// writeJournal materialises a journal with the fixed two-feature schema the
+// merge tests share.
+func writeJournal(t *testing.T, path, meta string, rows ...journalRow) string {
+	t.Helper()
+	sw, err := CreateStreamAux(path, []string{"a", "b"}, []string{"x"}, []string{"s"}, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		var targets, aux map[string]float64
+		if !r.failed {
+			targets = map[string]float64{"x": r.target}
+			aux = map[string]float64{"s": r.aux}
+		}
+		if err := sw.AppendFull(r.index, r.failed, r.features, targets, aux); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func row(i int) journalRow {
+	return journalRow{index: i, features: []float64{float64(i), float64(i) + 0.5}, target: float64(100 + i), aux: float64(i) / 4}
+}
+
+func mergedCSV(t *testing.T, paths ...string) ([]byte, int) {
+	t.Helper()
+	d, failed, err := MergeStreams(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), failed
+}
+
+// TestMergeStreamsPartition: any split of an index space across journals
+// compacts to the same dataset as the single-journal run, regardless of
+// which journal holds which rows or the order they are merged in.
+func TestMergeStreamsPartition(t *testing.T) {
+	dir := t.TempDir()
+	all := []journalRow{row(0), row(1), {index: 2, failed: true, features: []float64{2, 2.5}}, row(3), row(4), row(5)}
+	whole := writeJournal(t, filepath.Join(dir, "whole.journal"), mergeTestMeta, all...)
+	left := writeJournal(t, filepath.Join(dir, "left.journal"), mergeTestMeta, all[0], all[2], all[4])
+	right := writeJournal(t, filepath.Join(dir, "right.journal"), mergeTestMeta, all[5], all[1], all[3])
+
+	wantCSV, wantFailed := mergedCSV(t, whole)
+	if wantFailed != 1 {
+		t.Fatalf("failed = %d, want 1", wantFailed)
+	}
+	gotCSV, gotFailed := mergedCSV(t, left, right)
+	if gotFailed != wantFailed {
+		t.Errorf("split failed = %d, want %d", gotFailed, wantFailed)
+	}
+	if !bytes.Equal(gotCSV, wantCSV) {
+		t.Errorf("split merge differs from whole journal:\n%s\nvs\n%s", gotCSV, wantCSV)
+	}
+	// Order independence: reversing the path list changes nothing.
+	if rev, _ := mergedCSV(t, right, left); !bytes.Equal(rev, gotCSV) {
+		t.Error("merge depends on journal order")
+	}
+}
+
+// TestMergeStreamsDuplicates: value-identical duplicates (a lease re-run
+// resimulating deterministically) collapse to one row; disagreeing
+// duplicates are an error, never a silent drop.
+func TestMergeStreamsDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	a := writeJournal(t, filepath.Join(dir, "a.journal"), mergeTestMeta, row(0), row(1))
+	dup := writeJournal(t, filepath.Join(dir, "dup.journal"), mergeTestMeta, row(1), row(2))
+	want, _ := mergedCSV(t, writeJournal(t, filepath.Join(dir, "whole.journal"), mergeTestMeta, row(0), row(1), row(2)))
+	if got, _ := mergedCSV(t, a, dup); !bytes.Equal(got, want) {
+		t.Error("identical duplicate changed the merge")
+	}
+
+	conflicting := row(1)
+	conflicting.target++
+	conflict := writeJournal(t, filepath.Join(dir, "conflict.journal"), mergeTestMeta, conflicting)
+	_, _, err := MergeStreams([]string{a, conflict})
+	if err == nil || !strings.Contains(err.Error(), "disagree about index 1") {
+		t.Errorf("conflicting duplicate: err = %v, want disagreement about index 1", err)
+	}
+}
+
+// TestMergeStreamsIdentity: journals from a different sampling stream or a
+// different column layout must never merge.
+func TestMergeStreamsIdentity(t *testing.T) {
+	dir := t.TempDir()
+	a := writeJournal(t, filepath.Join(dir, "a.journal"), mergeTestMeta, row(0))
+	alien := writeJournal(t, filepath.Join(dir, "alien.journal"), "seed=8 samples=6 paper=false", row(1))
+	if _, _, err := MergeStreams([]string{a, alien}); err == nil || !strings.Contains(err.Error(), "journal identity") {
+		t.Errorf("identity mismatch: err = %v", err)
+	}
+
+	sw, err := CreateStreamAux(filepath.Join(dir, "skew.journal"), []string{"a", "c"}, []string{"x"}, []string{"s"}, mergeTestMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AppendFull(1, false, []float64{1, 2}, map[string]float64{"x": 1}, map[string]float64{"s": 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MergeStreams([]string{a, filepath.Join(dir, "skew.journal")}); err == nil || !strings.Contains(err.Error(), "column") {
+		t.Errorf("schema mismatch: err = %v", err)
+	}
+
+	if _, _, err := MergeStreams(nil); err == nil {
+		t.Error("merging zero journals succeeded")
+	}
+}
+
+// FuzzJournalMerge feeds MergeStreams adversarial journal pairs — partial,
+// duplicated, overlapping, truncated, or outright garbage — and checks the
+// invariants the fabric's correctness rests on: the merge never panics, is
+// independent of journal order, and either rejects a pair or produces one
+// deterministic dataset (identical CSV bytes and failed counts both ways).
+func FuzzJournalMerge(f *testing.F) {
+	header := "_index,_failed,a,b,cycles:x,s,_meta:" + mergeTestMeta + "\n"
+	f.Add(header+"0,0,0,0.5,100,0\n1,0,1,1.5,101,0.25\n", header+"2,0,2,2.5,102,0.5\n")
+	// Identical duplicate vs conflicting duplicate.
+	f.Add(header+"0,0,0,0.5,100,0\n", header+"0,0,0,0.5,100,0\n")
+	f.Add(header+"0,0,0,0.5,100,0\n", header+"0,0,0,0.5,999,0\n")
+	// Failed row, torn tail, empty journal, garbage.
+	f.Add(header+"3,1,3,3.5,0,0\n", header+"4,0,4,4.5,104,1\n5,0,5,5.")
+	f.Add("", "not,a,journal\n1,2\n")
+	f.Add(header, "_index,_failed,a,b,cycles:x,s,_meta:seed=99 samples=6 paper=false\n0,0,0,0.5,100,0\n")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		dir := t.TempDir()
+		pa := filepath.Join(dir, "a.journal")
+		pb := filepath.Join(dir, "b.journal")
+		if err := os.WriteFile(pa, []byte(a), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(pb, []byte(b), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dsAB, failedAB, errAB := MergeStreams([]string{pa, pb})
+		dsBA, failedBA, errBA := MergeStreams([]string{pb, pa})
+		if (errAB == nil) != (errBA == nil) {
+			t.Fatalf("order-dependent acceptance: a,b err %v; b,a err %v", errAB, errBA)
+		}
+		if errAB != nil {
+			return
+		}
+		if failedAB != failedBA {
+			t.Fatalf("order-dependent failed count: %d vs %d", failedAB, failedBA)
+		}
+		var ab, ba bytes.Buffer
+		if err := dsAB.WriteCSV(&ab); err != nil {
+			t.Fatal(err)
+		}
+		if err := dsBA.WriteCSV(&ba); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ab.Bytes(), ba.Bytes()) {
+			t.Fatalf("order-dependent merge:\n%s\nvs\n%s", ab.Bytes(), ba.Bytes())
+		}
+	})
+}

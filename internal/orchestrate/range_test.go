@@ -1,0 +1,43 @@
+package orchestrate
+
+import (
+	"reflect"
+	"testing"
+
+	"armdse/internal/params"
+)
+
+// TestRangeSourceMapsGlobalIndices: position i of a range source is exactly
+// global index Lo+i of the seed's sampling stream, so any partition of
+// [0, N) into ranges enumerates the same configs a single sweep would.
+func TestRangeSourceMapsGlobalIndices(t *testing.T) {
+	const seed, n = 42, 17
+	var whole []params.Config
+	for i := 0; i < n; i++ {
+		whole = append(whole, params.ConfigAt(seed, i))
+	}
+	var pieced []params.Config
+	for _, r := range [][2]int{{0, 5}, {5, 6}, {6, 17}} {
+		src := RangeSource{Seed: seed, Lo: r[0], Hi: r[1]}
+		if src.Len() != r[1]-r[0] {
+			t.Fatalf("[%d, %d): Len = %d", r[0], r[1], src.Len())
+		}
+		if src.Base() != r[0] {
+			t.Fatalf("[%d, %d): Base = %d", r[0], r[1], src.Base())
+		}
+		for i := 0; i < src.Len(); i++ {
+			pieced = append(pieced, src.At(i))
+		}
+	}
+	if !reflect.DeepEqual(pieced, whole) {
+		t.Error("partitioned ranges do not enumerate the sampling stream")
+	}
+}
+
+func TestRangeSourceEmpty(t *testing.T) {
+	for _, r := range []RangeSource{{Seed: 1, Lo: 3, Hi: 3}, {Seed: 1, Lo: 5, Hi: 2}} {
+		if r.Len() != 0 {
+			t.Errorf("[%d, %d): Len = %d, want 0", r.Lo, r.Hi, r.Len())
+		}
+	}
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# fabric_smoke.sh — end-to-end smoke test of the distributed sweep fabric.
+#
+# Builds dsecoord and dsegen, collects a 300-config single-process reference
+# dataset, then re-collects the same run through a coordinator with two
+# dsegen -worker processes on an ephemeral port. The fleet dataset must be
+# byte-identical to the reference (`cmp`), the per-lease journal directory
+# must be cleaned up, the coordinator's /metrics and /status endpoints must
+# serve the fleet accounting, and the coordinator runlog must validate
+# against scripts/runlog.schema.json. Exits non-zero on any failure.
+#
+# Usage:
+#   scripts/fabric_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SAMPLES=300
+SEED=11
+TMP="$(mktemp -d)"
+COORD_PID=""
+trap '[[ -n "$COORD_PID" ]] && kill "$COORD_PID" 2>/dev/null; rm -rf "$TMP"' EXIT
+
+echo "== build"
+go build -o "$TMP/dsegen" ./cmd/dsegen
+go build -o "$TMP/dsecoord" ./cmd/dsecoord
+
+echo "== single-process reference ($SAMPLES configs)"
+"$TMP/dsegen" -samples "$SAMPLES" -seed "$SEED" -out "$TMP/ref.csv" -runlog none -q
+
+echo "== coordinator + 2 workers"
+"$TMP/dsecoord" -samples "$SAMPLES" -seed "$SEED" -out "$TMP/fleet.csv" \
+	-addr 127.0.0.1:0 -lease 32 -chunk 8 -expiry 30s -linger 5s -q \
+	>"$TMP/dsecoord.out" 2>"$TMP/dsecoord.err" &
+COORD_PID=$!
+# dsecoord binds an ephemeral port and prints "coordinator: http://HOST:PORT/"
+# on stderr before granting leases; wait for it.
+ADDR=""
+for i in $(seq 1 100); do
+	ADDR=$(sed -n 's|^coordinator: http://\([^/]*\)/.*|\1|p' "$TMP/dsecoord.err" 2>/dev/null | head -1)
+	[[ -n "$ADDR" ]] && break
+	kill -0 "$COORD_PID" 2>/dev/null || { cat "$TMP/dsecoord.err" >&2; echo "FAIL: dsecoord exited early" >&2; exit 1; }
+	sleep 0.2
+done
+[[ -n "$ADDR" ]] || { echo "FAIL: coordinator address never printed" >&2; exit 1; }
+echo "-- coordinator at $ADDR"
+
+"$TMP/dsegen" -worker "http://$ADDR" -worker-name smoke-a -q &
+WA=$!
+"$TMP/dsegen" -worker "http://$ADDR" -worker-name smoke-b -q &
+WB=$!
+wait "$WA" || { echo "FAIL: worker a failed" >&2; exit 1; }
+wait "$WB" || { echo "FAIL: worker b failed" >&2; exit 1; }
+
+# The coordinator lingers after writing the dataset; poll its fleet
+# accounting while it is still up.
+METRICS=$(curl -sf "http://$ADDR/metrics" || true)
+if ! grep -q "^armdse_fabric_rows_total $SAMPLES\$" <<<"$METRICS"; then
+	echo "FAIL: /metrics does not report $SAMPLES fabric rows" >&2
+	grep '^armdse_fabric' <<<"$METRICS" >&2 || true
+	exit 1
+fi
+echo "-- /metrics sample:"
+grep -E '^armdse_fabric_(rows_total|lease_grants_total|done)' <<<"$METRICS"
+curl -sf "http://$ADDR/status" | python3 -c '
+import json, sys
+st = json.load(sys.stdin)
+assert st["done"] == st["total"], (st["done"], st["total"])
+assert len(st["workers"]) == 2, st["workers"]
+print("-- /status: done {done}/{total}, workers {w}".format(done=st["done"], total=st["total"], w=[x["name"] for x in st["workers"]]))
+'
+
+wait "$COORD_PID" || { cat "$TMP/dsecoord.err" >&2; echo "FAIL: dsecoord failed" >&2; exit 1; }
+COORD_PID=""
+cat "$TMP/dsecoord.out"
+
+echo "== fleet dataset must be byte-identical to the reference"
+cmp "$TMP/ref.csv" "$TMP/fleet.csv"
+echo "-- cmp OK ($(wc -c <"$TMP/fleet.csv") bytes)"
+[[ -e "$TMP/fleet.csv.fabric" ]] && { echo "FAIL: journal directory not cleaned up" >&2; exit 1; }
+
+echo "== validate coordinator runlog"
+python3 scripts/validate_runlog.py "$TMP/fleet.csv.runlog.jsonl"
+grep -q '"type":"lease","event":"grant"' "$TMP/fleet.csv.runlog.jsonl" ||
+	{ echo "FAIL: runlog records no lease grants" >&2; exit 1; }
+
+echo "fabric smoke: PASS"
