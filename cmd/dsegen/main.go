@@ -25,6 +25,7 @@
 //	dsegen -samples 2000 -seed 1 -out dataset.csv -resume
 //	dsegen -samples 180006 -seed 1 -out shard3.csv -shard 3/8
 //	dsegen -seed 1 -out dataset.csv -search ucb -search-budget 500 -search-batch 50
+//	dsegen -seed 1 -out dataset.csv -search ei -search-workers 8 -search-diversity 0.5
 //	dsegen -samples 2000 -seed 1 -out dataset.csv -http :8080
 //	dsegen -samples 2000 -seed 1 -out dataset.csv -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //	dsegen -worker http://coord-host:8070
@@ -150,7 +151,9 @@ var workerAllowedFlags = map[string]bool{
 //   - -eval must name a known evaluator (previously checked deep inside
 //     the engine, after the journal was created);
 //   - -search and -shard are mutually exclusive (proposal batches depend
-//     on every earlier result, so the index space cannot be partitioned).
+//     on every earlier result, so the index space cannot be partitioned);
+//   - the search-subordinate flags (-search-budget ... -search-diversity)
+//     require -search: without it they would be silently ignored.
 func validateFlags(fs *flag.FlagSet, worker, eval, search, shard string) error {
 	if worker != "" {
 		var bad []string
@@ -173,7 +176,27 @@ func validateFlags(fs *flag.FlagSet, worker, eval, search, shard string) error {
 	if search != "" && shard != "" {
 		return fmt.Errorf("-search and -shard are incompatible: proposal batches depend on every earlier result, so the index space cannot be partitioned across machines")
 	}
+	if search == "" {
+		var bad []string
+		fs.Visit(func(f *flag.Flag) {
+			if searchSubFlags[f.Name] {
+				bad = append(bad, "-"+f.Name)
+			}
+		})
+		if len(bad) > 0 {
+			sort.Strings(bad)
+			return fmt.Errorf("%s require(s) -search: these flags configure the adaptive proposer and would be silently ignored by a fixed sweep",
+				strings.Join(bad, ", "))
+		}
+	}
 	return nil
+}
+
+// searchSubFlags are the flags that only configure the adaptive proposer —
+// meaningless, and therefore rejected, without -search.
+var searchSubFlags = map[string]bool{
+	"search-budget": true, "search-batch": true, "search-pool": true,
+	"search-kappa": true, "search-workers": true, "search-diversity": true,
 }
 
 // parseShard parses "i/n" into (i, n).
@@ -206,6 +229,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		srchBat  = fs.Int("search-batch", 0, "adaptive proposal batch size: configs per generation (0 = default 64)")
 		srchPool = fs.Int("search-pool", 0, "adaptive candidate pool per batch (0 = default 8x batch)")
 		srchKap  = fs.Float64("search-kappa", 0, "ucb exploration weight on the forest spread (0 = default 2.0)")
+		srchWrk  = fs.Int("search-workers", 0, "acquisition concurrency: forest refits and candidate-pool scoring at each generation barrier (0 = -workers; proposals are identical at any value)")
+		srchDiv  = fs.Float64("search-diversity", 0, "ucb/ei batched-diversity penalty weight on near-duplicate proposals within one batch (0 = off)")
 		quiet    = fs.Bool("q", false, "suppress progress output")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -274,15 +299,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			budget = *srchBud
 		}
 		var err error
+		searchWorkers := *srchWrk
+		if searchWorkers <= 0 {
+			searchWorkers = *workers
+		}
 		proposer, err = armdse.NewProposer(armdse.ProposeOptions{
-			Strategy: *srch,
-			Seed:     *seed,
-			Budget:   budget,
-			Batch:    *srchBat,
-			Pool:     *srchPool,
-			Kappa:    *srchKap,
-			Workers:  *workers,
-			Apps:     apps,
+			Strategy:  *srch,
+			Seed:      *seed,
+			Budget:    budget,
+			Batch:     *srchBat,
+			Pool:      *srchPool,
+			Kappa:     *srchKap,
+			Diversity: *srchDiv,
+			Workers:   searchWorkers,
+			Apps:      apps,
 		})
 		if err != nil {
 			return err

@@ -302,3 +302,59 @@ func TestRunAdaptiveRejects(t *testing.T) {
 		t.Error("unknown strategy accepted")
 	}
 }
+
+// Search-subordinate flags without -search are a usage error naming every
+// offending flag, and — like all validateFlags rejections — must not leave a
+// stray journal or runlog behind.
+func TestRunSearchSubFlagsRequireSearch(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ds.csv")
+	var buf bytes.Buffer
+	cases := [][]string{
+		{"-search-workers", "4"},
+		{"-search-diversity", "0.5"},
+		{"-search-budget", "10", "-search-pool", "16"},
+		{"-search-batch", "8"},
+		{"-search-kappa", "3"},
+	}
+	for _, extra := range cases {
+		args := append([]string{"-samples", "4", "-out", out, "-q"}, extra...)
+		err := run(context.Background(), args, &buf, &buf)
+		if err == nil || !strings.Contains(err.Error(), "-search") {
+			t.Errorf("%v accepted without -search: %v", extra, err)
+			continue
+		}
+		for i := 0; i < len(extra); i += 2 {
+			if !strings.Contains(err.Error(), extra[i]) {
+				t.Errorf("error does not name %s: %v", extra[i], err)
+			}
+		}
+	}
+	for _, f := range []string{out + ".journal", out + ".runlog.jsonl"} {
+		if _, err := os.Stat(f); !os.IsNotExist(err) {
+			t.Errorf("stray %s after usage error", f)
+		}
+	}
+}
+
+// TestRunSearchWorkersCSVParity is the CLI face of the acquisition
+// determinism contract: -search-workers changes only the barrier wall time,
+// never the dataset bytes, and the runlog carries barrier records.
+func TestRunSearchWorkersCSVParity(t *testing.T) {
+	dir := t.TempDir()
+	common := []string{"-search", "ucb", "-search-budget", "12", "-search-batch", "4",
+		"-search-pool", "16", "-search-diversity", "0.5"}
+	serial := cliCSV(t, filepath.Join(dir, "w1.csv"),
+		append(common, "-search-workers", "1")...)
+	parallel := cliCSV(t, filepath.Join(dir, "w4.csv"),
+		append(common, "-search-workers", "4")...)
+	if !bytes.Equal(serial, parallel) {
+		t.Error("-search-workers 4 CSV differs from -search-workers 1")
+	}
+	rl, err := os.ReadFile(filepath.Join(dir, "w4.csv.runlog.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(rl, []byte(`"type":"barrier"`)) {
+		t.Error("adaptive runlog has no barrier records")
+	}
+}

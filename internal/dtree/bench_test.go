@@ -132,3 +132,35 @@ func BenchmarkTrainForest(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkForestWarmRefit compares a cold per-generation retrain against
+// the warm rotating-subset refit the adaptive proposer runs at every
+// generation barrier — the algorithmic half of the barrier-cost reduction.
+func BenchmarkForestWarmRefit(b *testing.B) {
+	x, y := benchData(2000)
+	prev, _, err := RefitForest(nil, x, y, RefitOptions{ForestOptions: ForestOptions{Trees: 20, Seed: 20}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		refresh int
+	}{
+		{"cold", 20}, // Refresh == Trees: full retrain, the pre-warm-start cost
+		{"warm", 0},  // default Trees/4 rotating subset
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := RefitForest(prev, x, y, RefitOptions{
+					ForestOptions: ForestOptions{Trees: 20, Seed: SubSeed(20, i)},
+					Refresh:       bc.refresh,
+					Gen:           i,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -192,7 +192,13 @@ func WritePrometheus(w io.Writer, snap Snapshot) error {
 				continue
 			}
 			// Histogram: cumulative buckets up to the last non-empty one,
-			// then +Inf, _sum and _count.
+			// then +Inf, _sum and _count. A scaled family (TimeHistogram)
+			// divides its `le` bounds and sum by the scale at this point —
+			// the stored int64 observations are untouched.
+			scale := f.Scale
+			if scale <= 0 {
+				scale = 1
+			}
 			last := 0
 			for b, n := range s.Buckets {
 				if n != 0 {
@@ -204,7 +210,7 @@ func WritePrometheus(w io.Writer, snap Snapshot) error {
 				cum += s.Buckets[b]
 				bw.WriteString(f.Name)
 				bw.WriteString("_bucket")
-				writeLabels(bw, s.Labels, formatValue(BucketUpperBound(b)))
+				writeLabels(bw, s.Labels, formatValue(BucketUpperBound(b)/scale))
 				bw.WriteByte(' ')
 				bw.WriteString(strconv.FormatInt(cum, 10))
 				bw.WriteByte('\n')
@@ -219,7 +225,11 @@ func WritePrometheus(w io.Writer, snap Snapshot) error {
 			bw.WriteString("_sum")
 			writeLabels(bw, s.Labels, "")
 			bw.WriteByte(' ')
-			bw.WriteString(strconv.FormatInt(s.Sum, 10))
+			if scale == 1 {
+				bw.WriteString(strconv.FormatInt(s.Sum, 10))
+			} else {
+				bw.WriteString(formatValue(float64(s.Sum) / scale))
+			}
 			bw.WriteByte('\n')
 			bw.WriteString(f.Name)
 			bw.WriteString("_count")

@@ -136,6 +136,50 @@ func TestWritePrometheusHistogram(t *testing.T) {
 	}
 }
 
+// A TimeHistogram stores nanoseconds but exposes seconds: le bounds and the
+// sum are divided by TimeScale at exposition, counts are untouched.
+func TestWritePrometheusTimeHistogram(t *testing.T) {
+	r := NewRegistry(1)
+	h := r.TimeHistogram("barrier_seconds", "Barrier wall time.")
+	h.Observe(0, 1)             // 1ns: bucket 1, le = 1e-09 s
+	h.Observe(0, 1_500_000_000) // 1.5s: bucket 31, le = (2^31-1)/1e9 s
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := []string{
+		"# TYPE barrier_seconds histogram\n",
+		`barrier_seconds_bucket{le="1e-09"} 1` + "\n",
+		`barrier_seconds_bucket{le="2.147483647"} 2` + "\n",
+		`barrier_seconds_bucket{le="+Inf"} 2` + "\n",
+		"barrier_seconds_sum 1.500000001\n",
+		"barrier_seconds_count 2\n",
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q\n%s", w, out)
+		}
+	}
+	// The snapshot records the scale so JSON consumers can undo it.
+	snap := r.Snapshot()
+	if snap.Families[0].Scale != TimeScale {
+		t.Errorf("snapshot scale = %g, want %g", snap.Families[0].Scale, float64(TimeScale))
+	}
+}
+
+func TestHistogramScaleConflictPanics(t *testing.T) {
+	r := NewRegistry(1)
+	r.Histogram("h_mixed", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a histogram under a different scale did not panic")
+		}
+	}()
+	r.TimeHistogram("h_mixed", "")
+}
+
 func TestFormatValue(t *testing.T) {
 	r := NewRegistry(1)
 	r.Gauge("g1", "").Set(3)

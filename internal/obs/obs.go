@@ -148,11 +148,12 @@ type series struct {
 }
 
 // family groups all series sharing a metric name; a name has exactly one
-// kind and help string.
+// kind, help string and (for histograms) exposition scale.
 type family struct {
 	name   string
 	help   string
 	kind   Kind
+	scale  float64 // histogram exposition divisor; 0 means unscaled
 	series map[string]*series
 }
 
@@ -188,8 +189,9 @@ func (r *Registry) NumShards() int {
 
 // lookup resolves (or creates) the series for (name, labels) under kind.
 // Metric names and label keys are sanitised; registering one name under two
-// kinds panics — that is a programming error, not runtime input.
-func (r *Registry) lookup(name, help string, kind Kind, labels []Label) *series {
+// kinds (or two histogram scales) panics — that is a programming error, not
+// runtime input.
+func (r *Registry) lookup(name, help string, kind Kind, scale float64, labels []Label) *series {
 	name = SanitizeMetricName(name)
 	ls := make([]Label, len(labels))
 	for i, l := range labels {
@@ -202,11 +204,14 @@ func (r *Registry) lookup(name, help string, kind Kind, labels []Label) *series 
 	defer r.mu.Unlock()
 	f := r.fams[name]
 	if f == nil {
-		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		f = &family{name: name, help: help, kind: kind, scale: scale, series: make(map[string]*series)}
 		r.fams[name] = f
 	}
 	if f.kind != kind {
 		panic("obs: metric " + name + " registered as both " + f.kind.String() + " and " + kind.String())
+	}
+	if f.scale != scale {
+		panic("obs: histogram " + name + " registered with two exposition scales")
 	}
 	s := f.series[lkey]
 	if s == nil {
@@ -230,7 +235,7 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	return r.lookup(name, help, KindCounter, labels).c
+	return r.lookup(name, help, KindCounter, 0, labels).c
 }
 
 // Gauge registers (or returns the existing) gauge for the name and label set.
@@ -238,7 +243,7 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	return r.lookup(name, help, KindGauge, labels).g
+	return r.lookup(name, help, KindGauge, 0, labels).g
 }
 
 // Histogram registers (or returns the existing) log-bucketed histogram for
@@ -247,7 +252,23 @@ func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
 	if r == nil {
 		return nil
 	}
-	return r.lookup(name, help, KindHistogram, labels).h
+	return r.lookup(name, help, KindHistogram, 0, labels).h
+}
+
+// TimeScale is the exposition divisor of a TimeHistogram: observations go in
+// as integer nanoseconds, the exposition comes out in seconds.
+const TimeScale = 1e9
+
+// TimeHistogram registers a histogram that observes integer nanoseconds on
+// the hot path but exposes seconds — the Prometheus base unit for time — by
+// dividing bucket bounds and the sum by TimeScale at exposition. Storage and
+// recording are identical to Histogram (three atomic adds, no float math);
+// only the snapshot's Scale and the rendered `le`/`_sum` values differ.
+func (r *Registry) TimeHistogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, KindHistogram, TimeScale, labels).h
 }
 
 // labelKey encodes a sorted label set as the series identity string.

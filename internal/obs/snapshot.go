@@ -22,9 +22,12 @@ type SeriesSnapshot struct {
 
 // FamilySnapshot is one metric family with all its series.
 type FamilySnapshot struct {
-	Name   string           `json:"name"`
-	Help   string           `json:"help,omitempty"`
-	Kind   string           `json:"kind"`
+	Name string `json:"name"`
+	Help string `json:"help,omitempty"`
+	Kind string `json:"kind"`
+	// Scale is the histogram family's exposition divisor (e.g. TimeScale for
+	// nanosecond observations exposed as seconds); 0 means unscaled.
+	Scale  float64          `json:"scale,omitempty"`
 	Series []SeriesSnapshot `json:"series"`
 }
 
@@ -53,7 +56,7 @@ func (r *Registry) Snapshot() Snapshot {
 
 	out := Snapshot{Families: make([]FamilySnapshot, 0, len(fams))}
 	for _, f := range fams {
-		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind.String()}
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind.String(), Scale: f.scale}
 		r.mu.Lock()
 		ser := make([]*series, 0, len(f.series))
 		for _, s := range f.series {

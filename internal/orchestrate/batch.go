@@ -46,6 +46,35 @@ type Budgeter interface {
 	Budget() int
 }
 
+// BatchStats describe the cost of a BatchSource's most recent NextBatch
+// call — the generation-barrier work (surrogate refits, candidate-pool
+// scoring) every simulation worker idles behind. Purely observational:
+// nothing here feeds back into proposals.
+type BatchStats struct {
+	// PoolScored is the number of candidate configurations generated and
+	// scored for the batch (0 for uniform/warmup batches).
+	PoolScored int
+	// RefitNanos is the wall time spent refitting the per-app surrogate
+	// forests.
+	RefitNanos int64
+	// ScoreNanos is the wall time spent generating, repairing and scoring
+	// the candidate pool.
+	ScoreNanos int64
+	// TreesRetrained and TreesRetained split the ensembles' trees into
+	// those retrained this generation and those warm-started (reused by
+	// reference) from the previous one.
+	TreesRetrained int
+	TreesRetained  int
+}
+
+// BatchStatsSource is an optional BatchSource extension exposing the cost
+// of the most recent NextBatch call. The engine polls it after each barrier
+// and feeds the numbers into the search telemetry (barrier histogram,
+// pool-scored counter, runlog barrier records).
+type BatchStatsSource interface {
+	LastBatchStats() BatchStats
+}
+
 // FixedBatches adapts a fixed ConfigSource to the batch seam as a single
 // batch: the degenerate case the determinism tests pin against the
 // pre-seam engine.

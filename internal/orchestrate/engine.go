@@ -443,10 +443,17 @@ func (e *Engine) Run(ctx context.Context) (done, failed int, err error) {
 			for cut < len(rows) && rows[cut].Index < base {
 				cut++
 			}
+			barrierT0 := time.Now()
 			batch, ok := e.Batches.NextBatch(rows[:cut:cut])
+			barrierNanos := time.Since(barrierT0).Nanoseconds()
 			if !ok || len(batch) == 0 {
 				break
 			}
+			var bstats BatchStats
+			if bs, hasStats := e.Batches.(BatchStatsSource); hasStats {
+				bstats = bs.LastBatchStats()
+			}
+			tel.searchBarrierDone(gen, barrierNanos, bstats)
 			var pending sync.WaitGroup
 			for bi, cfg := range batch {
 				i := base + bi

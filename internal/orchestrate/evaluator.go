@@ -293,11 +293,15 @@ func (h *hybridState) observe(app string, index int, x []float64, y float64) {
 	h.mu.Unlock()
 }
 
-// refresh retrains every app's residual forest from all observations so
-// far. Samples are sorted by config index and the forest seed derives from
-// (seed, generation, app position), so given the same observation set the
-// fitted forests are identical at any worker count and arrival order.
-// Returns the total number of training samples fitted.
+// refresh refits every app's residual forest on all observations so far.
+// The refit is warm-started: each generation retrains only a rotating
+// subset of the ensemble (dtree.RefitForest) on the grown sample set, so
+// the per-barrier cost is a fraction of a cold retrain. Samples are sorted
+// by config index, the forest seed derives from (seed, generation, app
+// position) and the retrain rotation is keyed by the generation count, so
+// given the same observation sets at each refresh the fitted forests are
+// identical at any worker count and arrival order. Returns the total
+// number of training samples fitted.
 func (h *hybridState) refresh() int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -319,11 +323,14 @@ func (h *hybridState) refresh() int64 {
 		for i, s := range rs.samples {
 			x[i], y[i] = s.x, s.y
 		}
-		f, err := dtree.TrainForest(x, y, dtree.ForestOptions{
-			Trees:          evalForestTrees,
-			MinSamplesLeaf: evalMinSamplesLeaf,
-			Seed:           dtree.SubSeed(genSeed, ai),
-			Workers:        h.workers,
+		f, _, err := dtree.RefitForest(rs.forest, x, y, dtree.RefitOptions{
+			ForestOptions: dtree.ForestOptions{
+				Trees:          evalForestTrees,
+				MinSamplesLeaf: evalMinSamplesLeaf,
+				Seed:           dtree.SubSeed(genSeed, ai),
+				Workers:        h.workers,
+			},
+			Gen: h.gens,
 		})
 		if err != nil {
 			// Training can only fail on an empty set, which the size guard

@@ -247,26 +247,31 @@ func hybridCollect(t *testing.T, workers int, escalate float64) *rowRecorder {
 func TestHybridRoutingDeterminism(t *testing.T) {
 	for _, escalate := range []float64{0.05, 0.5} {
 		a := hybridCollect(t, 1, escalate)
-		b := hybridCollect(t, 4, escalate)
-		if len(a.rows) != len(b.rows) {
-			t.Fatalf("escalate %g: row counts differ: %d vs %d", escalate, len(a.rows), len(b.rows))
-		}
-		for _, i := range a.indices() {
-			ra, rb := a.rows[i], b.rows[i]
-			if ra.Predicted != rb.Predicted {
-				t.Errorf("escalate %g: row %d routing differs: 1 worker predicted=%v, 4 workers predicted=%v",
-					escalate, i, ra.Predicted, rb.Predicted)
-				continue
+		for _, workers := range []int{2, 4, 8} {
+			b := hybridCollect(t, workers, escalate)
+			if len(a.rows) != len(b.rows) {
+				t.Fatalf("escalate %g: row counts differ: %d (1 worker) vs %d (%d workers)",
+					escalate, len(a.rows), len(b.rows), workers)
 			}
-			if ra.Confidence != rb.Confidence {
-				t.Errorf("escalate %g: row %d confidence differs: %g vs %g", escalate, i, ra.Confidence, rb.Confidence)
-			}
-			for app, ca := range ra.Targets {
-				if cb := rb.Targets[app]; ca != cb {
-					t.Errorf("escalate %g: row %d %s cycles differ: %g vs %g", escalate, i, app, ca, cb)
+			for _, i := range a.indices() {
+				ra, rb := a.rows[i], b.rows[i]
+				if ra.Predicted != rb.Predicted {
+					t.Errorf("escalate %g: row %d routing differs: 1 worker predicted=%v, %d workers predicted=%v",
+						escalate, i, ra.Predicted, workers, rb.Predicted)
+					continue
 				}
-				if ra.Stalls[app] != rb.Stalls[app] {
-					t.Errorf("escalate %g: row %d %s stalls differ", escalate, i, app)
+				if ra.Confidence != rb.Confidence {
+					t.Errorf("escalate %g workers %d: row %d confidence differs: %g vs %g",
+						escalate, workers, i, ra.Confidence, rb.Confidence)
+				}
+				for app, ca := range ra.Targets {
+					if cb := rb.Targets[app]; ca != cb {
+						t.Errorf("escalate %g workers %d: row %d %s cycles differ: %g vs %g",
+							escalate, workers, i, app, ca, cb)
+					}
+					if ra.Stalls[app] != rb.Stalls[app] {
+						t.Errorf("escalate %g workers %d: row %d %s stalls differ", escalate, workers, i, app)
+					}
 				}
 			}
 		}

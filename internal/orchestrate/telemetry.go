@@ -72,6 +72,11 @@ type Telemetry struct {
 	evalRefreshes *obs.Counter
 	evalTrainRows *obs.Gauge
 
+	// Search-seam handles, bound only for batch-source runs (bindBatchMode).
+	searchBarrier *obs.Histogram
+	searchScored  *obs.Counter
+	gGen          *obs.Gauge
+
 	scratch []workerScratch
 
 	total                  int
@@ -142,17 +147,20 @@ type WorkerProgress struct {
 // SweepStatus is the live JSON status view of a running collection — the
 // /status endpoint's payload.
 type SweepStatus struct {
-	Done       int              `json:"done"`
-	Failed     int              `json:"failed"`
-	Total      int              `json:"total"`
-	ElapsedSec float64          `json:"elapsed_s"`
-	ETASec     float64          `json:"eta_s"`
-	RowsPerSec float64          `json:"rows_per_sec"`
-	Cycles     int64            `json:"cycles"`
-	ShardIndex int              `json:"shard_index"`
-	ShardCount int              `json:"shard_count"`
-	Workers    []WorkerProgress `json:"workers,omitempty"`
-	Slowest    []SlowConfig     `json:"slowest,omitempty"`
+	Done       int     `json:"done"`
+	Failed     int     `json:"failed"`
+	Total      int     `json:"total"`
+	ElapsedSec float64 `json:"elapsed_s"`
+	ETASec     float64 `json:"eta_s"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	Cycles     int64   `json:"cycles"`
+	ShardIndex int     `json:"shard_index"`
+	ShardCount int     `json:"shard_count"`
+	// Gen is the current proposal generation of an adaptive run (0 for
+	// fixed sweeps, which never bind the search gauges).
+	Gen     int              `json:"gen,omitempty"`
+	Workers []WorkerProgress `json:"workers,omitempty"`
+	Slowest []SlowConfig     `json:"slowest,omitempty"`
 }
 
 // slowK bounds the slowest-config table.
@@ -234,12 +242,59 @@ func (t *Telemetry) bind(suite []workload.Workload, workers, total, shardIndex, 
 }
 
 // bindBatchMode switches config records to carry the proposal-generation
-// tag. Called by Engine.Run alongside bind.
+// tag and creates the search-seam handles. Called by Engine.Run alongside
+// bind; fixed sweeps register nothing, keeping their metric surface
+// identical to pre-seam engines.
 func (t *Telemetry) bindBatchMode(batch bool) {
 	if t == nil {
 		return
 	}
 	t.emitGen = batch
+	if !batch {
+		return
+	}
+	r := t.reg
+	t.searchBarrier = r.TimeHistogram("armdse_search_barrier_seconds",
+		"Wall time per generation barrier: proposal, surrogate refit and candidate-pool scoring while simulation workers idle.")
+	t.searchScored = r.Counter("armdse_search_pool_scored_total",
+		"Candidate configurations generated and scored by the acquisition model.")
+	t.gGen = r.Gauge("armdse_search_generation", "Current proposal generation of the adaptive run.")
+}
+
+// searchBarrierDone records one generation barrier: the NextBatch wall time
+// into the barrier histogram, the pool size into the scored counter, the
+// generation gauge, and a `barrier` journal record carrying the proposer's
+// cost breakdown (warm-refit vs scoring split, trees retrained vs retained).
+func (t *Telemetry) searchBarrierDone(gen int, wallNs int64, stats BatchStats) {
+	if t == nil || !t.emitGen {
+		return
+	}
+	t.searchBarrier.Observe(0, wallNs)
+	t.searchScored.Add(0, int64(stats.PoolScored))
+	t.gGen.SetInt(int64(gen))
+	if t.journal == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.jbuf[:0]
+	b = append(b, `{"type":"barrier","gen":`...)
+	b = strconv.AppendInt(b, int64(gen), 10)
+	b = append(b, `,"wall_ms":`...)
+	b = appendFloat(b, float64(wallNs)/1e6)
+	b = append(b, `,"pool_scored":`...)
+	b = strconv.AppendInt(b, int64(stats.PoolScored), 10)
+	b = append(b, `,"refit_ms":`...)
+	b = appendFloat(b, float64(stats.RefitNanos)/1e6)
+	b = append(b, `,"score_ms":`...)
+	b = appendFloat(b, float64(stats.ScoreNanos)/1e6)
+	b = append(b, `,"trees_retrained":`...)
+	b = strconv.AppendInt(b, int64(stats.TreesRetrained), 10)
+	b = append(b, `,"trees_retained":`...)
+	b = strconv.AppendInt(b, int64(stats.TreesRetained), 10)
+	b = append(b, '}')
+	t.jbuf = b
+	_ = t.journal.WriteLine(b)
 }
 
 // bindEval creates the evaluator-seam handles for a non-exact run. Called
@@ -433,6 +488,7 @@ func (t *Telemetry) Status() SweepStatus {
 		Cycles:     int64(t.gCycles.Value()),
 		ShardIndex: t.shardIndex,
 		ShardCount: t.shardCount,
+		Gen:        int(t.gGen.Value()),
 	}
 	for w := range t.scratch {
 		st.Workers = append(st.Workers, WorkerProgress{Worker: w, Done: t.scratch[w].done.Load()})

@@ -154,6 +154,108 @@ func TestTelemetryCollect(t *testing.T) {
 	}
 }
 
+// statsBatches is a scripted batch source that also reports barrier costs,
+// standing in for the search proposer's BatchStatsSource side.
+type statsBatches struct {
+	scriptedBatches
+	stats BatchStats
+}
+
+func (s *statsBatches) LastBatchStats() BatchStats { return s.stats }
+
+// TestSearchBarrierTelemetry drives a batch-source run through a wired hub
+// and checks the search-seam surface: the seconds-scaled barrier histogram,
+// the pool-scored counter, the generation gauge in /status, and the
+// `barrier` journal records with the proposer's cost breakdown.
+func TestSearchBarrierTelemetry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := obs.CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry(2)
+	tel := NewTelemetry(reg, j)
+
+	var cfgs []params.Config
+	for i := 0; i < 6; i++ {
+		cfgs = append(cfgs, params.ConfigAt(5, i))
+	}
+	src := &statsBatches{
+		scriptedBatches: scriptedBatches{batches: [][]params.Config{cfgs[:3], cfgs[3:]}},
+		stats: BatchStats{
+			PoolScored: 40, RefitNanos: 2e6, ScoreNanos: 3e6,
+			TreesRetrained: 5, TreesRetained: 15,
+		},
+	}
+	if _, err := Collect(context.Background(), Options{
+		Suite: tinySuite(), Workers: 2, Batches: src, Telemetry: tel,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var barrierFam *obs.FamilySnapshot
+	var scored int64
+	for _, f := range reg.Snapshot().Families {
+		f := f
+		if f.Name == "armdse_search_barrier_seconds" {
+			barrierFam = &f
+		}
+		if f.Name == "armdse_search_pool_scored_total" {
+			scored = int64(f.Series[0].Value)
+		}
+	}
+	if barrierFam == nil {
+		t.Fatal("armdse_search_barrier_seconds not registered")
+	}
+	if barrierFam.Scale != obs.TimeScale {
+		t.Errorf("barrier histogram scale = %g, want %g", barrierFam.Scale, float64(obs.TimeScale))
+	}
+	// Two proposed batches → two barrier observations (the exhausted third
+	// call records nothing).
+	if got := barrierFam.Series[0].Count; got != 2 {
+		t.Errorf("barrier observations = %d, want 2", got)
+	}
+	if scored != 80 {
+		t.Errorf("pool_scored_total = %d, want 80", scored)
+	}
+	if got := tel.Status().Gen; got != 1 {
+		t.Errorf("status gen = %d, want 1", got)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	barriers := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("journal line does not parse: %v\n%s", err, line)
+		}
+		if rec["type"] != "barrier" {
+			continue
+		}
+		if rec["gen"].(float64) != float64(barriers) {
+			t.Errorf("barrier gen = %v, want %d", rec["gen"], barriers)
+		}
+		if rec["pool_scored"].(float64) != 40 ||
+			rec["refit_ms"].(float64) != 2 || rec["score_ms"].(float64) != 3 ||
+			rec["trees_retrained"].(float64) != 5 || rec["trees_retained"].(float64) != 15 {
+			t.Errorf("barrier record fields: %s", line)
+		}
+		if _, ok := rec["wall_ms"]; !ok {
+			t.Errorf("barrier record missing wall_ms: %s", line)
+		}
+		barriers++
+	}
+	if barriers != 2 {
+		t.Errorf("journal has %d barrier records, want 2", barriers)
+	}
+}
+
 // TestTelemetryDoesNotPerturbDataset is the in-process half of the
 // byte-identity contract: the same collection with and without a fully wired
 // hub must produce identical rows.

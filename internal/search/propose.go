@@ -3,8 +3,11 @@ package search
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"armdse/internal/dtree"
 	"armdse/internal/orchestrate"
@@ -14,18 +17,27 @@ import (
 // The adaptive proposal loop. A Proposer plugs into the collection engine's
 // BatchSource seam and decides, batch by batch, where to spend the
 // remaining simulation budget. Model-based strategies (ucb, ei, phased)
-// train one random forest per application on every completed row, score a
-// candidate pool with the ensemble mean and between-tree spread, and
-// propose the best-scoring candidates; uniform is the control that
-// reproduces the classic fixed sweep.
+// keep one random forest per application warm across generations — each
+// barrier retrains only a rotating subset of trees on the grown training
+// set (dtree.RefitForest) — score a candidate pool with the ensemble mean
+// and between-tree spread, and propose the best-scoring candidates; uniform
+// is the control that reproduces the classic fixed sweep.
 //
-// Everything is deterministic given (seed, strategy, options): candidate
-// pools draw from splitmix64 substreams keyed (seed, generation, strategy)
-// via chained params.SubSeed, forests train on chained per-app seeds, and
-// ties break on candidate index. Combined with the engine's barrier
-// contract (the proposer only ever sees complete earlier batches), a run
-// yields byte-identical datasets at any -workers count and across
-// interrupt/resume.
+// The generation barrier is parallel: pool generation, constraint repair
+// and acquisition scoring fan out in fixed-size chunks across a bounded
+// worker pool (ProposeOptions.Workers), with every chunk drawing from its
+// own splitmix64 substream keyed (seed, generation, chunk) and results
+// merged in chunk order — the deterministic-reduction idiom of
+// internal/dtree, except that the chunk size is a constant rather than a
+// function of the worker count, because the chunks carry RNG draws.
+//
+// Everything is therefore deterministic given (seed, strategy, options):
+// candidate pools draw from substreams chained via params.SubSeed, forests
+// refit on chained per-(generation, app) seeds with generation-keyed tree
+// rotation, and ties break on candidate index. Combined with the engine's
+// barrier contract (the proposer only ever sees complete earlier batches),
+// a run yields byte-identical datasets and serialized models at any
+// Workers count and across interrupt/resume.
 
 // Strategy names accepted by ProposeOptions.Strategy.
 const (
@@ -70,8 +82,20 @@ type ProposeOptions struct {
 	Kappa float64
 	// Trees is the per-app forest size (default 20).
 	Trees int
-	// Workers bounds forest-training concurrency; the proposals are
-	// identical at every value.
+	// Refit is the number of trees retrained per generation under the
+	// warm-start refit; 0 selects Trees/4 (minimum 1) and values >= Trees
+	// retrain the full ensemble every barrier — the pre-warm-start cost.
+	Refit int
+	// Diversity is the batched-diversity penalty weight for ucb/ei: each
+	// selected proposal penalises near-duplicates (Gaussian kernel over
+	// range-normalised encoded features) by Diversity per unit proximity,
+	// in acquisition-score (summed log-cycle) units, so large batches do
+	// not collapse onto the incumbent ridge. 0 disables the rule and keeps
+	// the tournament-selection assembly.
+	Diversity float64
+	// Workers bounds the acquisition concurrency — forest refits, pool
+	// generation and candidate scoring; the proposals are identical at
+	// every value.
 	Workers int
 	// Apps names the target applications whose cycles the forests model;
 	// required for model-based strategies.
@@ -105,6 +129,15 @@ type Proposer struct {
 
 	gen      int // NextBatch call count
 	proposed int // configurations proposed so far
+
+	// forests are the warm per-app ensembles, index-parallel to opt.Apps;
+	// modelGens counts model-guided batches — the refit rotation index.
+	// Because NextBatch replays the same training sets in the same order
+	// on resume, the warm state is a pure function of the prior rows.
+	forests   []*dtree.Forest
+	modelGens int
+
+	stats orchestrate.BatchStats
 }
 
 // NewProposer validates the options and builds a proposer.
@@ -116,6 +149,9 @@ func NewProposer(opt ProposeOptions) (*Proposer, error) {
 	if opt.Budget <= 0 {
 		return nil, fmt.Errorf("search: proposal budget %d <= 0", opt.Budget)
 	}
+	if opt.Diversity < 0 {
+		return nil, fmt.Errorf("search: diversity weight %g < 0", opt.Diversity)
+	}
 	if opt.Strategy != StrategyUniform && len(opt.Apps) == 0 {
 		return nil, fmt.Errorf("search: strategy %q needs the target application names", opt.Strategy)
 	}
@@ -125,14 +161,20 @@ func NewProposer(opt ProposeOptions) (*Proposer, error) {
 // Budget implements orchestrate.Budgeter.
 func (p *Proposer) Budget() int { return p.opt.Budget }
 
+// LastBatchStats implements orchestrate.BatchStatsSource: the cost of the
+// most recent NextBatch call (zeros for uniform and warmup batches).
+func (p *Proposer) LastBatchStats() orchestrate.BatchStats { return p.stats }
+
 // Digest identifies the proposal stream for a journal's resume-identity
 // stamp: every option that changes what gets proposed is in it, so
 // resuming against a differently-configured proposer is rejected at the
-// meta comparison.
+// meta comparison. The trailing algorithm revision (v2: chunked pool
+// substreams, warm-started refits, diversity rule) changed the proposal
+// stream relative to v1 journals, which therefore must not resume either.
 func (p *Proposer) Digest() string {
 	o := p.opt
-	return fmt.Sprintf("%s/s%d/n%d/b%d/p%d/k%g/t%d",
-		o.Strategy, o.Seed, o.Budget, o.Batch, o.Pool, o.Kappa, o.Trees)
+	return fmt.Sprintf("%s/s%d/n%d/b%d/p%d/k%g/t%d/d%g/r%d/v2",
+		o.Strategy, o.Seed, o.Budget, o.Batch, o.Pool, o.Kappa, o.Trees, o.Diversity, o.Refit)
 }
 
 // minTrainRows is the fewest non-failed prior rows a model-based strategy
@@ -145,6 +187,7 @@ const minTrainRows = 8
 // whether each batch is model-guided or uniform depends only on them and
 // the options.
 func (p *Proposer) NextBatch(prior []orchestrate.Row) ([]params.Config, bool) {
+	p.stats = orchestrate.BatchStats{}
 	n := p.opt.Batch
 	if rem := p.opt.Budget - p.proposed; rem <= 0 {
 		return nil, false
@@ -187,9 +230,76 @@ func (p *Proposer) uniformBatch(n int) []params.Config {
 	return batch
 }
 
-// modelBatch trains the per-app forests on the prior rows, draws the
-// strategy's candidate pool from the (seed, generation, strategy)
-// substream, scores it, and returns the n best candidates.
+// Parallel fan-out geometry and substream identifiers.
+const (
+	// scoreChunk is the fixed fan-out granularity of pool generation and
+	// scoring: chunk c of a generation's pool draws from the substream
+	// keyed (poolSeed, c) and writes its own index range, so the merged
+	// pool is identical at any Workers value. The size is a constant —
+	// never derived from the worker count like dtree.forEachChunk's, which
+	// is fine for pure index-keyed writes but would move RNG draws between
+	// streams as Workers changed.
+	scoreChunk = 64
+	// Substream indices under a generation's seed; part of the determinism
+	// contract, do not renumber.
+	streamPool    = 1
+	streamExplore = 2
+)
+
+// forChunks runs fn over [0, n) in scoreChunk-sized pieces across a bounded
+// worker pool (workers <= 0 selects GOMAXPROCS; 1 runs serially). Chunks
+// are handed out dynamically, but every chunk's identity — and so any
+// substream keyed by it — is its fixed index, and all writes are keyed by
+// element index, so the result is schedule-independent.
+func forChunks(n, workers int, fn func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	nchunks := (n + scoreChunk - 1) / scoreChunk
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers <= 1 {
+		for c := 0; c < nchunks; c++ {
+			lo := c * scoreChunk
+			hi := lo + scoreChunk
+			if hi > n {
+				hi = n
+			}
+			fn(c, lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nchunks {
+					return
+				}
+				lo := c * scoreChunk
+				hi := lo + scoreChunk
+				if hi > n {
+					hi = n
+				}
+				fn(c, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// modelBatch refits the warm per-app forests on the prior rows, draws the
+// strategy's candidate pool from per-chunk (seed, generation, chunk)
+// substreams, scores it across the worker pool, and assembles the n best
+// candidates.
 func (p *Proposer) modelBatch(n, gen int, train []orchestrate.Row) []params.Config {
 	o := p.opt
 	genSeed := params.SubSeed(params.SubSeed(o.Seed, gen), strategyID[o.Strategy])
@@ -209,90 +319,128 @@ func (p *Proposer) modelBatch(n, gen int, train []orchestrate.Row) []params.Conf
 			ys[ai][i] = math.Log(v)
 		}
 	}
-	forests := make([]*dtree.Forest, len(o.Apps))
+	t0 := time.Now()
+	if p.forests == nil {
+		p.forests = make([]*dtree.Forest, len(o.Apps))
+	}
 	for ai := range o.Apps {
-		f, err := dtree.TrainForest(x, ys[ai], dtree.ForestOptions{
-			Trees:   o.Trees,
-			Seed:    params.SubSeed(genSeed, ai),
-			Workers: o.Workers,
+		f, retrained, err := dtree.RefitForest(p.forests[ai], x, ys[ai], dtree.RefitOptions{
+			ForestOptions: dtree.ForestOptions{
+				Trees:   o.Trees,
+				Seed:    params.SubSeed(genSeed, ai),
+				Workers: o.Workers,
+			},
+			Refresh: o.Refit,
+			Gen:     p.modelGens,
 		})
 		if err != nil {
 			// Training can only fail on an empty set, which trainable()
 			// already excluded — but degrade to uniform rather than panic.
 			return p.uniformBatch(n)
 		}
-		forests[ai] = f
+		p.forests[ai] = f
+		p.stats.TreesRetrained += retrained
+		p.stats.TreesRetained += o.Trees - retrained
 	}
+	p.modelGens++
+	p.stats.RefitNanos = time.Since(t0).Nanoseconds()
 
-	rng := params.NewRand(genSeed)
+	t1 := time.Now()
+	poolSeed := params.SubSeed(genSeed, streamPool)
 	var cands []params.Config
-	switch o.Strategy {
-	case StrategyPhased:
-		cands = p.phasedCandidates(rng, train, ys)
-	default:
+	if o.Strategy == StrategyPhased {
+		cands = p.phasedCandidates(poolSeed, train, ys)
+	} else {
 		cands = make([]params.Config, o.Pool)
-		for i := range cands {
-			cands[i] = params.Sample(rng)
-		}
+		forChunks(o.Pool, o.Workers, func(c, lo, hi int) {
+			rng := params.NewRand(params.SubSeed(poolSeed, c))
+			for i := lo; i < hi; i++ {
+				cands[i] = params.Sample(rng)
+			}
+		})
 	}
 
-	type scored struct {
-		idx   int
-		score float64
+	bestY := make([]float64, len(o.Apps))
+	for ai := range o.Apps {
+		bestY[ai] = minOf(ys[ai])
 	}
-	scores := make([]scored, len(cands))
-	for i, cfg := range cands {
-		feats := cfg.Features()
-		var s float64
-		for ai := range o.Apps {
-			mean, std := forests[ai].PredictStats(feats)
-			switch o.Strategy {
-			case StrategyEI:
-				s -= expectedImprovement(minOf(ys[ai]), mean, std)
-			case StrategyPhased:
-				s += mean // exploit within the phase's mutation set
-			default: // ucb
-				s += mean - o.Kappa*std
+	feats := make([][]float64, len(cands))
+	scores := make([]float64, len(cands))
+	forChunks(len(cands), o.Workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fv := cands[i].Features()
+			feats[i] = fv
+			var s float64
+			for ai := range o.Apps {
+				mean, std := p.forests[ai].PredictStats(fv)
+				switch o.Strategy {
+				case StrategyEI:
+					s -= expectedImprovement(bestY[ai], mean, std)
+				case StrategyPhased:
+					s += mean // exploit within the phase's mutation set
+				default: // ucb
+					s += mean - o.Kappa*std
+				}
 			}
+			scores[i] = s
 		}
-		scores[i] = scored{idx: i, score: s}
-	}
+	})
+	p.stats.PoolScored = len(cands)
+
+	var batch []params.Config
 	if o.Strategy == StrategyPhased {
 		// Lowest summed forest mean wins: exploit within the phase's
 		// mutation set (the phase schedule itself is the exploration).
 		// Ties break on candidate index so the ordering is total.
-		sort.Slice(scores, func(a, b int) bool {
-			if scores[a].score != scores[b].score {
-				return scores[a].score < scores[b].score
+		order := make([]int, len(cands))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if scores[order[a]] != scores[order[b]] {
+				return scores[order[a]] < scores[order[b]]
 			}
-			return scores[a].idx < scores[b].idx
+			return order[a] < order[b]
 		})
-		if n > len(scores) {
-			n = len(scores)
+		if n > len(order) {
+			n = len(order)
 		}
-		batch := make([]params.Config, n)
+		batch = make([]params.Config, n)
 		for i := 0; i < n; i++ {
-			batch[i] = cands[scores[i].idx]
+			batch[i] = cands[order[i]]
 		}
-		return batch
+	} else {
+		batch = p.assembleUCB(n, genSeed, cands, scores, feats)
 	}
+	p.stats.ScoreNanos = time.Since(t1).Nanoseconds()
+	return batch
+}
 
-	// ucb/ei batch assembly. Taking the global top-n of one pool collapses
-	// the whole batch onto the model's current optimum basin, which is fine
-	// for pure optimization but starves the rest of the space — and the
-	// importance rankings learned from it — of samples. Two standard batch
-	// diversity devices instead: tournament selection (each exploit slot
-	// takes the best-scoring candidate of its own disjoint pool chunk, a
-	// best-of-k draw that favours the acquisition without piling onto one
-	// mode) for 1−1/exploreDiv of the batch, and epsilon-greedy mixing
-	// (uniform draws continuing the same generation substream, so
-	// determinism holds) for the remaining 1/exploreDiv.
+// assembleUCB builds a ucb/ei batch from the scored pool. Taking the global
+// top-n of one pool collapses the whole batch onto the model's current
+// optimum basin, which is fine for pure optimization but starves the rest
+// of the space — and the importance rankings learned from it — of samples.
+// The exploit slice (1−1/exploreDiv of the batch) therefore goes through a
+// batch-diversity device: the explicit near-duplicate penalty when
+// Diversity > 0 (diverseSelect), otherwise tournament selection (each slot
+// takes the best-scoring candidate of its own disjoint pool chunk, a
+// best-of-k draw that favours the acquisition without piling onto one
+// mode). The remaining 1/exploreDiv is epsilon-greedy mixing: uniform draws
+// from the generation's dedicated explore substream, so determinism holds.
+func (p *Proposer) assembleUCB(n int, genSeed int64, cands []params.Config, scores []float64, feats [][]float64) []params.Config {
+	o := p.opt
 	nExploit := n - n/exploreDiv
 	if nExploit > len(cands) {
 		nExploit = len(cands)
 	}
 	batch := make([]params.Config, 0, n)
-	if nExploit > 0 {
+	switch {
+	case nExploit <= 0:
+	case o.Diversity > 0:
+		for _, i := range diverseSelect(scores, feats, nExploit, o.Diversity) {
+			batch = append(batch, cands[i])
+		}
+	default:
 		chunk := len(cands) / nExploit
 		for j := 0; j < nExploit; j++ {
 			lo := j * chunk
@@ -302,13 +450,14 @@ func (p *Proposer) modelBatch(n, gen int, train []orchestrate.Row) []params.Conf
 			}
 			best := lo
 			for i := lo + 1; i < hi; i++ {
-				if scores[i].score < scores[best].score {
+				if scores[i] < scores[best] {
 					best = i // strict < breaks ties on candidate index
 				}
 			}
 			batch = append(batch, cands[best])
 		}
 	}
+	rng := params.NewRand(params.SubSeed(genSeed, streamExplore))
 	for len(batch) < n {
 		batch = append(batch, params.Sample(rng))
 	}
@@ -318,6 +467,73 @@ func (p *Proposer) modelBatch(n, gen int, train []orchestrate.Row) []params.Conf
 // exploreDiv sets the uniform-exploration slice of each model-guided
 // ucb/ei batch to 1/exploreDiv of the proposals.
 const exploreDiv = 2
+
+// diversityScale is the Gaussian kernel width of the batched-diversity
+// rule, in units of per-feature range: candidates within ~a quarter of the
+// design-space range of a selected proposal are "near-duplicates".
+const diversityScale = 0.25
+
+// featInvRange holds 1/(max-min) per canonical feature — the range
+// normalisation the diversity distance uses, so a 512-entry ROB axis and a
+// 2-entry clock axis weigh equally.
+var featInvRange = func() []float64 {
+	space := params.Space()
+	inv := make([]float64, len(space))
+	for i, pm := range space {
+		if r := pm.Max - pm.Min; r > 0 {
+			inv[i] = 1 / r
+		}
+	}
+	return inv
+}()
+
+// proximity is the Gaussian similarity of two encoded feature vectors under
+// the per-feature range normalisation: 1 for identical configurations,
+// decaying toward 0 as they separate.
+func proximity(a, b []float64) float64 {
+	var d2 float64
+	for j := range a {
+		d := (a[j] - b[j]) * featInvRange[j]
+		d2 += d * d
+	}
+	d2 /= float64(len(a))
+	return math.Exp(-d2 / (2 * diversityScale * diversityScale))
+}
+
+// diverseSelect greedily picks nSel exploit-proposal indices under the
+// batched-diversity rule: every selection adds weight·proximity(candidate,
+// selected) to each remaining candidate's effective score, so a
+// near-duplicate of an already-selected proposal must beat its penalty to
+// join the batch. Ties break on candidate index; the selection is a pure
+// function of (scores, feats, weight), independent of worker count.
+func diverseSelect(scores []float64, feats [][]float64, nSel int, weight float64) []int {
+	taken := make([]bool, len(scores))
+	penalty := make([]float64, len(scores))
+	out := make([]int, 0, nSel)
+	for len(out) < nSel {
+		best := -1
+		bestEff := math.Inf(1)
+		for i := range scores {
+			if taken[i] {
+				continue
+			}
+			if eff := scores[i] + weight*penalty[i]; eff < bestEff {
+				best, bestEff = i, eff // strict < breaks ties on candidate index
+			}
+		}
+		if best < 0 {
+			break
+		}
+		taken[best] = true
+		out = append(out, best)
+		for i := range scores {
+			if !taken[i] {
+				penalty[i] += proximity(feats[i], feats[best])
+			}
+		}
+	}
+	return out
+}
 
 // Parameter groups for the phased strategy, as canonical feature indices:
 // the memory hierarchy first (the paper's dominant importance block), then
@@ -345,8 +561,10 @@ var phaseGroups = [3][]int{
 // incumbent best configuration, and propose candidates that mutate only
 // the active phase's parameter group — the "sweep one subsystem at a time"
 // shape of staged DSE studies. Mutations go through Decode, so every
-// candidate lands on the constrained grid.
-func (p *Proposer) phasedCandidates(rng *rand.Rand, train []orchestrate.Row, ys [][]float64) []params.Config {
+// candidate lands on the constrained grid. Chunks mutate independently
+// (each from the (poolSeed, chunk) substream, with a per-chunk retry
+// budget) and concatenate in chunk order.
+func (p *Proposer) phasedCandidates(poolSeed int64, train []orchestrate.Row, ys [][]float64) []params.Config {
 	o := p.opt
 	phase := 0
 	switch {
@@ -371,21 +589,31 @@ func (p *Proposer) phasedCandidates(rng *rand.Rand, train []orchestrate.Row, ys 
 	incumbent := train[best].Features
 
 	space := params.Space()
+	chunks := make([][]params.Config, (o.Pool+scoreChunk-1)/scoreChunk)
+	forChunks(o.Pool, o.Workers, func(c, lo, hi int) {
+		rng := params.NewRand(params.SubSeed(poolSeed, c))
+		want := hi - lo
+		out := make([]params.Config, 0, want)
+		for tries := 0; len(out) < want && tries < 10*want; tries++ {
+			feats := append([]float64(nil), incumbent...)
+			for _, fi := range group {
+				vals := space[fi].Values()
+				feats[fi] = vals[rng.Intn(len(vals))]
+			}
+			// Decode is total over grid values (snap is the identity, Repair
+			// handles the dependent constraints), so the error branch is a
+			// safety net, not an expected path.
+			cfg, err := params.Decode(feats)
+			if err != nil {
+				continue
+			}
+			out = append(out, cfg)
+		}
+		chunks[c] = out
+	})
 	cands := make([]params.Config, 0, o.Pool)
-	for tries := 0; len(cands) < o.Pool && tries < 10*o.Pool; tries++ {
-		feats := append([]float64(nil), incumbent...)
-		for _, fi := range group {
-			vals := space[fi].Values()
-			feats[fi] = vals[rng.Intn(len(vals))]
-		}
-		// Decode is total over grid values (snap is the identity, Repair
-		// handles the dependent constraints), so the error branch is a
-		// safety net, not an expected path.
-		cfg, err := params.Decode(feats)
-		if err != nil {
-			continue
-		}
-		cands = append(cands, cfg)
+	for _, ch := range chunks {
+		cands = append(cands, ch...)
 	}
 	return cands
 }

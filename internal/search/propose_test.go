@@ -5,6 +5,7 @@ import (
 	"context"
 	"testing"
 
+	"armdse/internal/dtree"
 	"armdse/internal/orchestrate"
 	"armdse/internal/params"
 	"armdse/internal/workload"
@@ -20,18 +21,19 @@ func tinySuite() []workload.Workload {
 }
 
 // adaptiveCSV runs an adaptive collection and returns the dataset as CSV.
-func adaptiveCSV(t *testing.T, strategy string, workers int) []byte {
+func adaptiveCSV(t *testing.T, strategy string, workers int, diversity float64) []byte {
 	t.Helper()
 	suite := tinySuite()
 	prop, err := NewProposer(ProposeOptions{
-		Strategy: strategy,
-		Seed:     11,
-		Budget:   30,
-		Batch:    10,
-		Pool:     40,
-		Trees:    5,
-		Workers:  workers,
-		Apps:     orchestrate.SuiteNames(suite),
+		Strategy:  strategy,
+		Seed:      11,
+		Budget:    30,
+		Batch:     10,
+		Pool:      40,
+		Trees:     5,
+		Diversity: diversity,
+		Workers:   workers,
+		Apps:      orchestrate.SuiteNames(suite),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -52,20 +54,160 @@ func adaptiveCSV(t *testing.T, strategy string, workers int) []byte {
 }
 
 // The seam's headline determinism guarantee: adaptive datasets are
-// byte-identical at every worker count, for the model-guided strategies
-// whose proposals depend on earlier results.
+// byte-identical at every worker count, for every strategy — the worker
+// count feeds both the simulation pool and the parallel acquisition path
+// (chunked pool scoring, warm forest refits, diversity assembly).
 func TestAdaptiveWorkerCountInvariance(t *testing.T) {
-	for _, strategy := range []string{StrategyUCB, StrategyPhased} {
-		want := adaptiveCSV(t, strategy, 1)
+	cases := []struct {
+		strategy  string
+		diversity float64
+	}{
+		{StrategyUniform, 0},
+		{StrategyUCB, 0},
+		{StrategyUCB, 0.5},
+		{StrategyEI, 0},
+		{StrategyEI, 0.5},
+		{StrategyPhased, 0},
+	}
+	for _, tc := range cases {
+		name := tc.strategy
+		if tc.diversity > 0 {
+			name += "+diversity"
+		}
+		want := adaptiveCSV(t, tc.strategy, 1, tc.diversity)
 		for _, workers := range []int{2, 8} {
-			got := adaptiveCSV(t, strategy, workers)
+			got := adaptiveCSV(t, tc.strategy, workers, tc.diversity)
 			if !bytes.Equal(want, got) {
-				t.Errorf("%s: Workers=%d dataset differs from Workers=1", strategy, workers)
+				t.Errorf("%s: Workers=%d dataset differs from Workers=1", name, workers)
 			}
 		}
 		if len(want) == 0 {
-			t.Errorf("%s: empty dataset", strategy)
+			t.Errorf("%s: empty dataset", name)
 		}
+	}
+}
+
+// syntheticPrior builds deterministic completed rows whose targets are a
+// smooth function of the features, so forests have real structure to learn.
+func syntheticPrior(n int) []orchestrate.Row {
+	rows := make([]orchestrate.Row, n)
+	for i := range rows {
+		cfg := params.ConfigAt(9, i)
+		f := cfg.Features()
+		var s float64
+		for _, v := range f {
+			s += v
+		}
+		rows[i] = orchestrate.Row{
+			Index:    i,
+			Config:   cfg,
+			Features: f,
+			Targets:  map[string]float64{"a": 1000 + s, "b": 2000 + 2*s},
+		}
+	}
+	return rows
+}
+
+// The other half of the byte-identity contract: the warm per-app forests a
+// proposer carries across generations serialise identically at any worker
+// count, refit rotation included — a run's published surrogate model does
+// not depend on how many cores scored it.
+func TestWarmForestWorkerInvariance(t *testing.T) {
+	run := func(workers int) ([][]float64, [][]byte) {
+		prop, err := NewProposer(ProposeOptions{
+			Strategy: StrategyUCB, Seed: 7, Budget: 48, Batch: 12, Pool: 80,
+			Trees: 8, Refit: 2, Diversity: 0.5, Workers: workers,
+			Apps: []string{"a", "b"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prior := syntheticPrior(40)
+		var feats [][]float64
+		for {
+			batch, ok := prop.NextBatch(prior)
+			if !ok {
+				break
+			}
+			for _, cfg := range batch {
+				feats = append(feats, cfg.Features())
+			}
+		}
+		var models [][]byte
+		for _, f := range prop.forests {
+			var buf bytes.Buffer
+			if err := dtree.WriteModel(f, &buf); err != nil {
+				t.Fatal(err)
+			}
+			models = append(models, buf.Bytes())
+		}
+		return feats, models
+	}
+	wantFeats, wantModels := run(1)
+	if len(wantModels) != 2 {
+		t.Fatalf("got %d warm forests, want 2", len(wantModels))
+	}
+	for _, workers := range []int{2, 8} {
+		gotFeats, gotModels := run(workers)
+		if len(gotFeats) != len(wantFeats) {
+			t.Fatalf("Workers=%d proposed %d configs, serial %d", workers, len(gotFeats), len(wantFeats))
+		}
+		for i := range wantFeats {
+			for j := range wantFeats[i] {
+				if gotFeats[i][j] != wantFeats[i][j] {
+					t.Fatalf("Workers=%d: proposal %d feature %d differs from serial", workers, i, j)
+				}
+			}
+		}
+		for ai := range wantModels {
+			if !bytes.Equal(gotModels[ai], wantModels[ai]) {
+				t.Errorf("Workers=%d: serialized forest %d differs from serial", workers, ai)
+			}
+		}
+	}
+}
+
+// The batched-diversity rule: a near-duplicate of a selected proposal must
+// beat its proximity penalty to join the batch.
+func TestDiverseSelect(t *testing.T) {
+	nf := len(featInvRange)
+	lo := make([]float64, nf)
+	hi := make([]float64, nf)
+	space := params.Space()
+	for j := range space {
+		lo[j] = space[j].Min
+		hi[j] = space[j].Max
+	}
+	// Candidates 0 and 1 sit at the same point (proximity 1); candidate 2 is
+	// at the far corner (proximity ~0). Scores slightly favour the twins.
+	feats := [][]float64{lo, lo, hi}
+	scores := []float64{1.0, 1.01, 1.5}
+	// Weight below the twins' gap-to-2: the duplicate still wins.
+	if got := diverseSelect(scores, feats, 2, 0.1); got[0] != 0 || got[1] != 1 {
+		t.Errorf("weight 0.1 selected %v, want [0 1]", got)
+	}
+	// Weight above it: selecting 0 penalises its twin past candidate 2.
+	if got := diverseSelect(scores, feats, 2, 1.0); got[0] != 0 || got[1] != 2 {
+		t.Errorf("weight 1.0 selected %v, want [0 2]", got)
+	}
+}
+
+// Ties in effective score break on candidate index — part of the
+// determinism contract.
+func TestDiverseSelectTieBreaksOnIndex(t *testing.T) {
+	nf := len(featInvRange)
+	far := func(v float64) []float64 {
+		f := make([]float64, nf)
+		for j := range f {
+			f[j] = v * 1e9 // far apart under any range normalisation
+		}
+		return f
+	}
+	feats := [][]float64{far(1), far(2), far(3)}
+	scores := []float64{5, 5, 5}
+	sel := diverseSelect(scores, feats, 2, 0.5)
+	if sel[0] != 0 || sel[1] != 1 {
+		t.Errorf("tied scores selected %v, want [0 1]", sel)
 	}
 }
 
@@ -86,7 +228,7 @@ func TestUniformProposerMatchesFixedSweep(t *testing.T) {
 	if err := fixed.Data.WriteCSV(&want); err != nil {
 		t.Fatal(err)
 	}
-	got := adaptiveCSV(t, StrategyUniform, 4)
+	got := adaptiveCSV(t, StrategyUniform, 4, 0)
 	if !bytes.Equal(want.Bytes(), got) {
 		t.Error("uniform adaptive run differs from the classic fixed sweep")
 	}
@@ -136,11 +278,13 @@ func TestProposerDigestCoversOptions(t *testing.T) {
 	}
 	ref := d(base)
 	for name, mut := range map[string]func(*ProposeOptions){
-		"strategy": func(o *ProposeOptions) { o.Strategy = StrategyEI },
-		"seed":     func(o *ProposeOptions) { o.Seed = 2 },
-		"budget":   func(o *ProposeOptions) { o.Budget = 200 },
-		"batch":    func(o *ProposeOptions) { o.Batch = 20 },
-		"kappa":    func(o *ProposeOptions) { o.Kappa = 3 },
+		"strategy":  func(o *ProposeOptions) { o.Strategy = StrategyEI },
+		"seed":      func(o *ProposeOptions) { o.Seed = 2 },
+		"budget":    func(o *ProposeOptions) { o.Budget = 200 },
+		"batch":     func(o *ProposeOptions) { o.Batch = 20 },
+		"kappa":     func(o *ProposeOptions) { o.Kappa = 3 },
+		"diversity": func(o *ProposeOptions) { o.Diversity = 0.5 },
+		"refit":     func(o *ProposeOptions) { o.Refit = 3 },
 	} {
 		o := base
 		mut(&o)

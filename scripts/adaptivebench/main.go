@@ -11,9 +11,22 @@
 // Output is one JSON object on stdout, embedded by scripts/bench.sh as the
 // "adaptive_sweep" entry of BENCH_simeng.json.
 //
+// With -acq the command instead benchmarks the generation barrier itself —
+// the wall time the simulation workers sit idle while the proposer refits
+// its forests and scores the candidate pool. It compares the pre-change
+// acquisition cost (cold full-ensemble refits, serial scoring: -search-workers
+// 1 with Refit=Trees) against the current one (warm rotating refits, chunked
+// parallel scoring), on synthetic completed rows so no simulation time is
+// mixed into the measurement, and optionally times two real end-to-end
+// adaptive sweeps — serial-cold vs warm-parallel, each a faithful adaptive
+// run under its own acquisition regime (the streams differ: Refit is part of
+// the proposal digest). The JSON lands in BENCH_simeng.json as the
+// "acquisition" entry.
+//
 // Usage:
 //
 //	go run ./scripts/adaptivebench -full 4000 -budgets 1000,2000,4000
+//	go run ./scripts/adaptivebench -acq -acq-sweep 320
 package main
 
 import (
@@ -23,6 +36,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -30,6 +44,8 @@ import (
 	"armdse"
 	"armdse/internal/dataset"
 	"armdse/internal/dtree"
+	"armdse/internal/orchestrate"
+	"armdse/internal/params"
 	"armdse/internal/stats"
 )
 
@@ -71,9 +87,19 @@ func run(args []string) error {
 		kappa   = fs.Float64("kappa", 0, "ucb exploration weight (0 = default)")
 		batch   = fs.Int("batch", 0, "proposal batch size: configs per generation barrier (0 = default)")
 		refCSV  = fs.String("ref", "", "reference-sweep CSV cache: load it if the file exists, else collect and write it (collection parameters must match — the cache is keyed by nothing but its path)")
+
+		acq      = fs.Bool("acq", false, "benchmark the acquisition barrier (cold-serial vs warm-parallel) instead of the sample-efficiency study")
+		acqGens  = fs.Int("acq-gens", 8, "acq mode: model-guided generations to time")
+		acqPrior = fs.Int("acq-prior", 512, "acq mode: synthetic completed rows seeding the first refit")
+		acqPool  = fs.Int("acq-pool", 0, "acq mode: candidate pool scored per generation (0 = proposer default, 8x batch)")
+		acqBatch = fs.Int("acq-batch", 64, "acq mode: proposal batch size")
+		acqSweep = fs.Int("acq-sweep", 320, "acq mode: budget for the end-to-end adaptive sweep timing (0 skips it)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *acq {
+		return runAcq(*seed, *workers, *trees, *acqGens, *acqPrior, *acqPool, *acqBatch, *acqSweep)
 	}
 	var bs []int
 	for _, s := range strings.Split(*budgets, ",") {
@@ -270,3 +296,190 @@ func run(args []string) error {
 }
 
 func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+// acqJSON is the "acquisition" entry of BENCH_simeng.json: per-generation
+// barrier wall time under the pre-change acquisition (cold full-ensemble
+// refits at one worker) vs the current one (warm rotating refits, chunked
+// parallel scoring), with the warm-refit saving broken out separately and an
+// optional end-to-end adaptive sweep pair. All *_ms figures are means per
+// generation except the sweep pair, which is total wall time.
+type acqJSON struct {
+	Description         string  `json:"description"`
+	Seed                int64   `json:"seed"`
+	Workers             int     `json:"workers"`
+	Apps                int     `json:"apps"`
+	Trees               int     `json:"trees"`
+	PriorRows           int     `json:"prior_rows"`
+	Pool                int     `json:"pool"`
+	Batch               int     `json:"batch"`
+	Gens                int     `json:"gens"`
+	BarrierColdSerialMs float64 `json:"barrier_cold_serial_ms"`
+	BarrierWarmParMs    float64 `json:"barrier_warm_parallel_ms"`
+	BarrierSpeedup      float64 `json:"barrier_speedup"`
+	PoolScoredPerSec    float64 `json:"pool_scored_per_sec"`
+	RefitColdMs         float64 `json:"refit_cold_ms"`
+	RefitWarmMs         float64 `json:"refit_warm_ms"`
+	RefitSpeedup        float64 `json:"refit_speedup"`
+	SweepBudget         int     `json:"sweep_budget,omitempty"`
+	SweepSerialColdMs   int64   `json:"sweep_serial_cold_ms,omitempty"`
+	SweepWarmParMs      int64   `json:"sweep_warm_parallel_ms,omitempty"`
+	SweepSpeedup        float64 `json:"sweep_speedup,omitempty"`
+}
+
+// acqCost accumulates the proposer-side cost of a timed generation sequence.
+type acqCost struct {
+	barrierNs, refitNs, scoreNs int64
+	scored                      int
+}
+
+// synthRow fabricates a completed row for cfg with deterministic targets (an
+// affine function of the encoded features, distinct per application), so the
+// barrier is timed against realistic training sets without any simulation.
+func synthRow(idx int, cfg params.Config, apps []string) orchestrate.Row {
+	f := params.Encode(cfg)
+	s := 0.0
+	for _, v := range f {
+		s += v
+	}
+	targets := make(map[string]float64, len(apps))
+	for ai, app := range apps {
+		targets[app] = 1000*float64(ai+1) + float64(ai+1)*s
+	}
+	return orchestrate.Row{Index: idx, Config: cfg, Features: f, Targets: targets}
+}
+
+// measureBarriers times gens model-guided NextBatch calls of a ucb proposer
+// over a growing synthetic training set and returns the accumulated barrier
+// wall time plus the proposer's own refit/score breakdown. The first
+// generation — whose refit is a full ensemble fit under either regime — is
+// run untimed so the figures describe the steady-state barrier.
+func measureBarriers(seed int64, apps []string, trees, refit, searchWorkers, gens, priorRows, pool, batch int) (acqCost, error) {
+	prop, err := armdse.NewProposer(armdse.ProposeOptions{
+		Strategy: armdse.StrategyUCB,
+		Seed:     seed,
+		Budget:   1 << 30,
+		Batch:    batch,
+		Pool:     pool,
+		Trees:    trees,
+		Refit:    refit,
+		Workers:  searchWorkers,
+		Apps:     apps,
+	})
+	if err != nil {
+		return acqCost{}, err
+	}
+	rows := make([]orchestrate.Row, 0, priorRows+gens*batch)
+	for i := 0; i < priorRows; i++ {
+		rows = append(rows, synthRow(i, params.ConfigAt(seed, i), apps))
+	}
+	var c acqCost
+	for g := -1; g < gens; g++ {
+		t0 := time.Now()
+		batchCfgs, ok := prop.NextBatch(rows)
+		elapsed := time.Since(t0).Nanoseconds()
+		if !ok || len(batchCfgs) == 0 {
+			return c, fmt.Errorf("proposer exhausted at generation %d", g)
+		}
+		if g >= 0 { // generation -1 is the untimed warm-up (full first fit)
+			c.barrierNs += elapsed
+			st := prop.LastBatchStats()
+			c.refitNs += st.RefitNanos
+			c.scoreNs += st.ScoreNanos
+			c.scored += st.PoolScored
+		}
+		for _, cfg := range batchCfgs {
+			rows = append(rows, synthRow(len(rows), cfg, apps))
+		}
+	}
+	return c, nil
+}
+
+func runAcq(seed int64, workers, trees, gens, priorRows, pool, batch, sweepBudget int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if trees <= 0 {
+		trees = 20
+	}
+	if pool <= 0 {
+		pool = 8 * batch // the proposer's own default
+	}
+	suite := armdse.TestSuite()
+	apps := armdse.SuiteNames(suite)
+
+	// Cold-serial is the pre-change acquisition: every barrier retrains the
+	// full ensembles (Refit >= Trees) on one worker. Warm-parallel is the
+	// current default: rotating-subset refits across the worker pool. The
+	// proposal streams differ (Refit is part of the digest), but each is a
+	// faithful end-to-end acquisition under its own regime.
+	cold, err := measureBarriers(seed, apps, trees, trees, 1, gens, priorRows, pool, batch)
+	if err != nil {
+		return err
+	}
+	warm, err := measureBarriers(seed, apps, trees, 0, workers, gens, priorRows, pool, batch)
+	if err != nil {
+		return err
+	}
+	g := float64(gens)
+	rep := acqJSON{
+		Description:         "Per-generation acquisition barrier (forest refit + candidate-pool scoring while simulation workers idle): cold full-ensemble serial refits (pre-change) vs warm rotating refits with chunked parallel scoring; synthetic targets, no simulation in the timings",
+		Seed:                seed,
+		Workers:             workers,
+		Apps:                len(apps),
+		Trees:               trees,
+		PriorRows:           priorRows,
+		Pool:                pool,
+		Batch:               batch,
+		Gens:                gens,
+		BarrierColdSerialMs: round3(float64(cold.barrierNs) / 1e6 / g),
+		BarrierWarmParMs:    round3(float64(warm.barrierNs) / 1e6 / g),
+		BarrierSpeedup:      round3(float64(cold.barrierNs) / float64(warm.barrierNs)),
+		PoolScoredPerSec:    math.Round(float64(warm.scored) / (float64(warm.scoreNs) / 1e9)),
+		RefitColdMs:         round3(float64(cold.refitNs) / 1e6 / g),
+		RefitWarmMs:         round3(float64(warm.refitNs) / 1e6 / g),
+		RefitSpeedup:        round3(float64(cold.refitNs) / float64(warm.refitNs)),
+	}
+	fmt.Fprintf(os.Stderr, "barrier: cold-serial %.1f ms/gen, warm-parallel %.1f ms/gen (%.2fx); refit %.1f -> %.1f ms/gen (%.2fx); %.0f pool configs/sec\n",
+		rep.BarrierColdSerialMs, rep.BarrierWarmParMs, rep.BarrierSpeedup,
+		rep.RefitColdMs, rep.RefitWarmMs, rep.RefitSpeedup, rep.PoolScoredPerSec)
+
+	if sweepBudget > 0 {
+		ctx := context.Background()
+		sweep := func(searchWorkers, refit int) (time.Duration, error) {
+			prop, err := armdse.NewProposer(armdse.ProposeOptions{
+				Strategy: armdse.StrategyUCB,
+				Seed:     seed,
+				Budget:   sweepBudget,
+				Batch:    batch,
+				Trees:    trees,
+				Refit:    refit,
+				Workers:  searchWorkers,
+				Apps:     apps,
+			})
+			if err != nil {
+				return 0, err
+			}
+			t0 := time.Now()
+			_, err = armdse.Collect(ctx, armdse.CollectOptions{Suite: suite, Workers: workers, Batches: prop})
+			return time.Since(t0), err
+		}
+		dCold, err := sweep(1, trees)
+		if err != nil {
+			return err
+		}
+		dWarm, err := sweep(workers, 0)
+		if err != nil {
+			return err
+		}
+		rep.SweepBudget = sweepBudget
+		rep.SweepSerialColdMs = dCold.Milliseconds()
+		rep.SweepWarmParMs = dWarm.Milliseconds()
+		rep.SweepSpeedup = round3(float64(dCold) / float64(dWarm))
+		fmt.Fprintf(os.Stderr, "sweep (%d configs): serial-cold %s, warm-parallel %s (%.2fx)\n",
+			sweepBudget, dCold.Round(time.Millisecond), dWarm.Round(time.Millisecond), rep.SweepSpeedup)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

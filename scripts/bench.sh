@@ -32,6 +32,12 @@
 # ADAPTIVE_SWEEP=0 skips it, ADAPTIVE_FULL / ADAPTIVE_BUDGETS shrink it,
 # and ADAPTIVE_JSON=path embeds a report produced by an earlier standalone
 # `go run ./scripts/adaptivebench` run instead of re-collecting.
+#
+# Also records the generation-barrier cost under "acquisition": adaptivebench
+# -acq times cold-serial vs warm-parallel proposer barriers on synthetic rows
+# plus an end-to-end adaptive sweep pair (see that command's doc comment).
+# ACQ=0 skips it, ACQ_SWEEP sizes (0 skips) the end-to-end pair, and
+# ACQ_JSON=path embeds a pre-computed report.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,9 +51,16 @@ ADAPTIVE_SWEEP="${ADAPTIVE_SWEEP:-1}"
 ADAPTIVE_FULL="${ADAPTIVE_FULL:-8000}"
 ADAPTIVE_BUDGETS="${ADAPTIVE_BUDGETS:-1000,2000,4000}"
 ADAPTIVE_JSON="${ADAPTIVE_JSON:-}"
+ACQ="${ACQ:-1}"
+ACQ_SWEEP="${ACQ_SWEEP:-320}"
+ACQ_JSON="${ACQ_JSON:-}"
 PKGS=(./internal/simeng ./internal/sstmem ./internal/orchestrate)
 
 raw=$(go test -run '^$' -bench . -benchtime "$BENCHTIME" "${PKGS[@]}")
+# The acquisition-seam microbenchmarks live in packages whose other
+# benchmarks are not part of this report, so they get a filtered run.
+raw+=$'\n'$(go test -run '^$' -bench 'BenchmarkProposeBatch|BenchmarkForestWarmRefit' \
+	-benchtime "$BENCHTIME" ./internal/search ./internal/dtree)
 
 eval_json=""
 if [[ "$EVAL_SWEEP" == "1" ]]; then
@@ -75,6 +88,13 @@ elif [[ "$ADAPTIVE_SWEEP" == "1" ]]; then
 		-trees 30 -repeats 10 -kappa 4)
 fi
 
+acq_json=""
+if [[ -n "$ACQ_JSON" ]]; then
+	acq_json=$(cat "$ACQ_JSON")
+elif [[ "$ACQ" == "1" ]]; then
+	acq_json=$(go run ./scripts/adaptivebench -acq -acq-sweep "$ACQ_SWEEP")
+fi
+
 {
 	printf '{\n'
 	printf '  "benchtime": "%s",\n' "$BENCHTIME"
@@ -92,6 +112,9 @@ fi
 	fi
 	if [[ -n "$adaptive_json" ]]; then
 		printf '  "adaptive_sweep": %s,\n' "$(sed '1!s/^/  /' <<<"$adaptive_json")"
+	fi
+	if [[ -n "$acq_json" ]]; then
+		printf '  "acquisition": %s,\n' "$(sed '1!s/^/  /' <<<"$acq_json")"
 	fi
 	printf '  "benchmarks": [\n'
 	# Benchmark lines look like:
