@@ -400,6 +400,15 @@ func TelemetryHandler(reg *MetricsRegistry, status func() any) http.Handler {
 	return obs.Handler(reg, status)
 }
 
+// QuantileStatus adapts a bare metrics registry into a /status function:
+// the payload maps every histogram family to per-series count, mean and
+// bucket-interpolated p50/p90/p99 (TimeHistogram families in seconds). For
+// tools without a sweep Telemetry hub (dserun), this keeps /status live
+// instead of 404ing.
+func QuantileStatus(reg *MetricsRegistry) func() any {
+	return func() any { return obs.SnapshotQuantiles(reg.Snapshot()) }
+}
+
 // ServeTelemetry binds addr and serves the handler in the background,
 // returning the server and the resolved bound address (":0" picks a port).
 func ServeTelemetry(addr string, h http.Handler) (*http.Server, string, error) {

@@ -15,12 +15,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"armdse"
 	"armdse/internal/workload"
@@ -87,7 +90,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		dumpBase = fs.String("dump-baseline", "", "write the ThunderX2 baseline config to this path and exit")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write an allocation profile to this file at exit")
-		httpAddr = fs.String("http", "", "serve /debug/pprof (and /metrics, /debug/vars) on this address while the run executes")
+		httpAddr = fs.String("http", "", "serve the live monitor (/metrics, /status, /debug/vars, /debug/pprof) on this address while the run executes")
+		linger   = fs.Duration("http-linger", 0, "keep the -http server up this long after the run finishes (for scrapers; interrupt exits early)")
 	)
 	// -hw is a deprecated alias kept for old scripts; hide it from the
 	// usage listing so new invocations reach for -mem proxy instead.
@@ -111,13 +115,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		memSel = armdse.BackendProxy
 	}
+	// The monitor registry records the evaluation's wall time so /status can
+	// answer with bucket-interpolated latency quantiles even for this
+	// single-run tool.
+	reg := armdse.NewMetricsRegistry(1)
 	if *httpAddr != "" {
-		srv, bound, err := armdse.ServeTelemetry(*httpAddr, armdse.TelemetryHandler(armdse.NewMetricsRegistry(1), nil))
+		srv, bound, err := armdse.ServeTelemetry(*httpAddr, armdse.TelemetryHandler(reg, armdse.QuantileStatus(reg)))
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(stderr, "monitor: http://%s/debug/pprof/\n", bound)
+		fmt.Fprintf(stderr, "monitor: http://%s/status\n", bound)
 	}
 	if *cpuProf != "" || *memProf != "" {
 		stopProf, err := profileTo(*cpuProf, *memProf)
@@ -176,7 +184,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	evalSpan := reg.TimeHistogram("armdse_config_wall_nanoseconds",
+		"Wall time per configuration (full suite).").Start(0)
 	evaluation, err := evaluator.Evaluate(cfg, w)
+	evalSpan.End()
 	if err != nil {
 		return err
 	}
@@ -216,6 +227,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, " %s=%.2f", name, u)
 		}
 		fmt.Fprintln(stdout)
+	}
+	if *httpAddr != "" && *linger > 0 {
+		fmt.Fprintf(stderr, "monitor lingering %s (interrupt to exit)\n", *linger)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		select {
+		case <-ctx.Done():
+		case <-time.After(*linger):
+		}
 	}
 	return nil
 }

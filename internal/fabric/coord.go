@@ -88,12 +88,16 @@ type Coordinator struct {
 	gRPS, gETA, gCycles         *obs.Gauge
 }
 
-// fleetWorker tracks one worker's contribution for per-worker rows/sec.
+// fleetWorker tracks one worker's contribution for per-worker rows/sec,
+// plus the latest telemetry snapshot it piggybacked on an advance or
+// heartbeat.
 type fleetWorker struct {
 	rows     int64
 	first    time.Time
 	lastSeen time.Time
 	counter  *obs.Counter
+	tel      *WorkerTelemetry
+	telAt    time.Time
 }
 
 // NewCoordinator builds the coordinator state: the lease table over the
@@ -221,6 +225,14 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/lease", c.handleLease)
 	mux.HandleFunc("/advance", c.handleAdvance)
 	mux.HandleFunc("/heartbeat", c.handleHeartbeat)
+	// /metrics is overridden ahead of the obs catch-all so the exposition
+	// carries both the coordinator's own registry and the fleet-merged
+	// armdse_fleet_* view of every worker's piggybacked snapshot.
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WritePrometheus(w, c.reg.Snapshot())
+		_ = obs.WritePrometheus(w, c.FleetSnapshot())
+	})
 	mux.Handle("/", obs.Handler(c.reg, func() any { return c.Status() }))
 	return mux
 }
@@ -303,6 +315,14 @@ func (c *Coordinator) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// A malformed telemetry payload rejects the advance before any row is
+	// committed, keeping the strict-wire contract symmetric with the rest of
+	// the message.
+	tel, err := decodeObs(req.Obs)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	now := time.Now()
 	var journaled int
 	var journaledFailed int
@@ -346,6 +366,7 @@ func (c *Coordinator) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
+	c.noteTelemetry(req.Worker, tel, now)
 	c.noteRows(req.Worker, journaled, journaledFailed, journaledCycles, now)
 	c.noteEvents(events, now)
 	if done && c.table.Done() {
@@ -364,12 +385,18 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	tel, err := decodeObs(req.Obs)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	now := time.Now()
 	hi, err := c.table.Heartbeat(req.LeaseID, req.Epoch, req.Worker, now)
 	if err != nil {
 		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
+	c.noteTelemetry(req.Worker, tel, now)
 	c.touchWorker(req.Worker, now)
 	writeJSON(w, HeartbeatResponse{Hi: hi})
 }
@@ -489,6 +516,7 @@ func (c *Coordinator) noteRows(worker string, rows, failed int, cycles int64, no
 			Done: doneConfigs, Failed: c.failed, Total: c.spec.Samples,
 			RowsPerSec: round3(rps), ETAS: round3(eta), Cycles: c.cycles,
 		})
+		c.writeUtilLocked(now)
 	}
 }
 
@@ -517,6 +545,7 @@ func (c *Coordinator) noteEvents(events []LeaseEvent, now time.Time) {
 			c.writeRunlog(coordLease{
 				Type: "lease", Event: ev.Event, Lease: ev.Lease, Epoch: ev.Epoch,
 				Worker: ev.Worker, Lo: ev.Lo, Hi: ev.Hi, Cursor: ev.Cursor,
+				ElapsedS: round3(now.Sub(c.start).Seconds()),
 			})
 		}
 		if c.logw != nil && ev.Event != "advance" {
@@ -570,12 +599,19 @@ func (c *Coordinator) Merge() (*dataset.Dataset, int, error) {
 // dataset is safely written.
 func (c *Coordinator) Cleanup() error { return os.RemoveAll(c.dir) }
 
-// FleetWorkerStatus is one worker's row in the fleet status view.
+// FleetWorkerStatus is one worker's row in the fleet status view. BusyS,
+// UpS and BusyFrac come from the worker's piggybacked telemetry (zero until
+// its first advance); Straggler marks a last-heartbeat age beyond the
+// fleet's median-lag threshold.
 type FleetWorkerStatus struct {
 	Name       string  `json:"name"`
 	Rows       int64   `json:"rows"`
 	RowsPerSec float64 `json:"rows_per_sec"`
 	LastSeenS  float64 `json:"last_seen_s"`
+	BusyS      float64 `json:"busy_s"`
+	UpS        float64 `json:"up_s"`
+	BusyFrac   float64 `json:"busy_frac"`
+	Straggler  bool    `json:"straggler"`
 }
 
 // FleetStatus is the coordinator's /status payload.
@@ -594,6 +630,10 @@ type FleetStatus struct {
 	LeaseGrants     int64 `json:"lease_grants"`
 	LeaseExpiries   int64 `json:"lease_expiries"`
 	LeaseSteals     int64 `json:"lease_steals"`
+
+	// StragglerLagS is the current straggler threshold:
+	// max(floor, factor x median last-heartbeat age) over the fleet.
+	StragglerLagS float64 `json:"straggler_lag_s"`
 
 	Workers []FleetWorkerStatus `json:"workers,omitempty"`
 	Leases  []LeaseStatus       `json:"leases,omitempty"`
@@ -624,9 +664,25 @@ func (c *Coordinator) Status() FleetStatus {
 		if d := fw.lastSeen.Sub(fw.first).Seconds(); d > 0 {
 			ws.RowsPerSec = float64(fw.rows) / d
 		}
+		if fw.tel != nil {
+			ws.BusyS = float64(fw.tel.BusyNs) / 1e9
+			ws.UpS = float64(fw.tel.UpNs) / 1e9
+			if fw.tel.UpNs > 0 {
+				ws.BusyFrac = float64(fw.tel.BusyNs) / float64(fw.tel.UpNs)
+			}
+		}
 		st.Workers = append(st.Workers, ws)
 	}
 	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].Name < st.Workers[j].Name })
+	ages := make([]float64, len(st.Workers))
+	for i, ws := range st.Workers {
+		ages[i] = ws.LastSeenS
+	}
+	flags, threshold := FlagStragglers(ages, StragglerFactor, StragglerFloorS)
+	st.StragglerLagS = threshold
+	for i := range st.Workers {
+		st.Workers[i].Straggler = flags[i]
+	}
 	return st
 }
 
@@ -655,14 +711,30 @@ type coordFleet struct {
 }
 
 type coordLease struct {
-	Type   string `json:"type"`
-	Event  string `json:"event"`
-	Lease  int    `json:"lease"`
-	Epoch  int    `json:"epoch"`
-	Worker string `json:"worker,omitempty"`
-	Lo     int    `json:"lo"`
-	Hi     int    `json:"hi"`
-	Cursor int    `json:"cursor"`
+	Type     string  `json:"type"`
+	Event    string  `json:"event"`
+	Lease    int     `json:"lease"`
+	Epoch    int     `json:"epoch"`
+	Worker   string  `json:"worker,omitempty"`
+	Lo       int     `json:"lo"`
+	Hi       int     `json:"hi"`
+	Cursor   int     `json:"cursor"`
+	ElapsedS float64 `json:"elapsed_s"`
+}
+
+// coordUtil is one worker's utilization sample, journaled alongside each
+// runlog heartbeat — the record dsereport turns into per-worker busy/idle
+// fractions.
+type coordUtil struct {
+	Type       string  `json:"type"`
+	Worker     string  `json:"worker"`
+	ElapsedS   float64 `json:"elapsed_s"`
+	Rows       int64   `json:"rows"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	BusyS      float64 `json:"busy_s"`
+	UpS        float64 `json:"up_s"`
+	BusyFrac   float64 `json:"busy_frac"`
+	LastSeenS  float64 `json:"last_seen_s"`
 }
 
 type coordHeartbeat struct {
@@ -727,4 +799,3 @@ func round3(v float64) float64 {
 	}
 	return float64(int64(v*1000+0.5)) / 1000
 }
-

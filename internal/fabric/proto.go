@@ -160,6 +160,10 @@ type AdvanceRequest struct {
 	Worker  string    `json:"worker"`
 	Cursor  int       `json:"cursor"`
 	Rows    []WireRow `json:"rows"`
+	// Obs optionally piggybacks the worker's compressed telemetry snapshot
+	// (EncodeTelemetry). It is pure observability: the coordinator journals
+	// and exports it but it never touches lease state or dataset bytes.
+	Obs []byte `json:"obs,omitempty"`
 }
 
 // AdvanceResponse acknowledges an advance. Hi is the lease's current upper
@@ -176,6 +180,9 @@ type HeartbeatRequest struct {
 	LeaseID int    `json:"lease_id"`
 	Epoch   int    `json:"epoch"`
 	Worker  string `json:"worker"`
+	// Obs optionally piggybacks the worker's compressed telemetry snapshot,
+	// exactly as on AdvanceRequest.
+	Obs []byte `json:"obs,omitempty"`
 }
 
 // HeartbeatResponse carries the lease's current upper bound, like

@@ -8,11 +8,13 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"armdse/internal/obs"
 	"armdse/internal/orchestrate"
 )
 
@@ -63,7 +65,15 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if cfg.Client == nil {
 		cfg.Client = http.DefaultClient
 	}
-	w := &worker{cfg: cfg}
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	// Every worker keeps the full single-process metrics registry and ships
+	// snapshots to the coordinator piggybacked on advances and heartbeats —
+	// observability only, invisible to lease state and dataset bytes.
+	reg := obs.NewRegistry(threads)
+	w := &worker{cfg: cfg, reg: reg, tel: orchestrate.NewTelemetry(reg, nil), start: time.Now()}
 
 	spec, err := w.fetchSpec(ctx)
 	if err != nil {
@@ -115,6 +125,32 @@ type worker struct {
 	cfg      WorkerConfig
 	spec     Spec
 	uploaded int
+
+	// Telemetry: the local obs registry (fed by the per-chunk engines via
+	// tel), the moment the worker joined, and cumulative simulation time.
+	// busyNs is atomic — the heartbeat goroutine snapshots it mid-chunk.
+	reg    *obs.Registry
+	tel    *orchestrate.Telemetry
+	start  time.Time
+	busyNs atomic.Int64
+}
+
+// obsPayload snapshots the worker's registry and busy/uptime counters as a
+// wire telemetry payload. Encoding failures degrade to "no telemetry" —
+// never to a failed advance.
+func (w *worker) obsPayload() []byte {
+	if w.reg == nil {
+		return nil
+	}
+	b, err := EncodeTelemetry(WorkerTelemetry{
+		BusyNs: w.busyNs.Load(),
+		UpNs:   time.Since(w.start).Nanoseconds(),
+		Snap:   w.reg.Snapshot(),
+	})
+	if err != nil {
+		return nil
+	}
+	return b
 }
 
 func (w *worker) logf(format string, args ...any) {
@@ -157,7 +193,7 @@ func (w *worker) runLease(ctx context.Context, lease Lease) error {
 		var resp AdvanceResponse
 		status, err := w.post(ctx, "/advance", AdvanceRequest{
 			LeaseID: lease.ID, Epoch: lease.Epoch, Worker: w.cfg.Name,
-			Cursor: chunkHi, Rows: rows,
+			Cursor: chunkHi, Rows: rows, Obs: w.obsPayload(),
 		}, &resp)
 		if status == http.StatusConflict {
 			w.logf("lease %d reassigned; abandoning", lease.ID)
@@ -206,6 +242,7 @@ func (w *worker) simulateRange(ctx context.Context, lease Lease, hi *int64, lo, 
 					var resp HeartbeatResponse
 					status, err := w.post(runCtx, "/heartbeat", HeartbeatRequest{
 						LeaseID: lease.ID, Epoch: lease.Epoch, Worker: w.cfg.Name,
+						Obs: w.obsPayload(),
 					}, &resp)
 					if status == http.StatusConflict || status == http.StatusNotFound {
 						lost.Store(true)
@@ -223,13 +260,16 @@ func (w *worker) simulateRange(ctx context.Context, lease Lease, hi *int64, lo, 
 	src := orchestrate.RangeSource{Seed: w.spec.Seed, Lo: lo, Hi: hiC}
 	sink := &wireSink{spec: &w.spec, base: src.Base()}
 	eng := orchestrate.Engine{
-		Source:  src,
-		Suite:   w.spec.Suite(),
-		Sink:    sink,
-		Workers: w.cfg.Threads,
-		Seed:    w.spec.Seed,
+		Source:    src,
+		Suite:     w.spec.Suite(),
+		Sink:      sink,
+		Workers:   w.cfg.Threads,
+		Seed:      w.spec.Seed,
+		Telemetry: w.tel,
 	}
+	simStart := time.Now()
 	_, _, err := eng.Run(runCtx)
+	w.busyNs.Add(time.Since(simStart).Nanoseconds())
 	cancel()
 	hbWG.Wait()
 	if lost.Load() {

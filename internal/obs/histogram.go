@@ -56,6 +56,136 @@ func BucketUpperBound(i int) float64 {
 	}
 }
 
+// BucketLowerBound returns bucket i's inclusive lower bound: 0 for bucket 0
+// and 2^(i-1) for every later bucket. The final bucket is open-ended above
+// its lower bound 2^62.
+func BucketLowerBound(i int) float64 {
+	if i <= 0 {
+		return 0
+	}
+	if i > NumHistBuckets-1 {
+		i = NumHistBuckets - 1
+	}
+	return float64(uint64(1) << (i - 1))
+}
+
+// QuantileFromBuckets estimates the q-quantile (clamped to [0, 1]) of a
+// log2-bucketed distribution by linear interpolation inside the bucket that
+// holds the target rank, treating bucket k as the continuous interval
+// [2^(k-1), 2^k). The interpolation pins exactly at bucket edges: a rank
+// landing precisely on a bucket's cumulative count yields that bucket's
+// continuous upper bound 2^k, and q=0 yields the first occupied bucket's
+// lower bound. Bucket 0 (non-positive observations) always estimates 0, and
+// a rank in the open-ended final bucket clamps to its lower bound 2^62.
+// Returns 0 for an empty distribution.
+func QuantileFromBuckets(buckets []int64, q float64) float64 {
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	var total int64
+	for _, n := range buckets {
+		if n > 0 {
+			total += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, n := range buckets {
+		if n <= 0 {
+			continue
+		}
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		if i == 0 {
+			return 0
+		}
+		lo := BucketLowerBound(i)
+		if i >= NumHistBuckets-1 {
+			return lo
+		}
+		frac := (rank - float64(cum-n)) / float64(n)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + lo*frac
+	}
+	return BucketLowerBound(len(buckets) - 1)
+}
+
+// QuantileSummary is the standard p50/p90/p99 triplet of a distribution.
+type QuantileSummary struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+}
+
+// SummaryFromBuckets estimates the standard quantile triplet from raw
+// (non-cumulative) bucket counts.
+func SummaryFromBuckets(buckets []int64) QuantileSummary {
+	return QuantileSummary{
+		P50: QuantileFromBuckets(buckets, 0.50),
+		P90: QuantileFromBuckets(buckets, 0.90),
+		P99: QuantileFromBuckets(buckets, 0.99),
+	}
+}
+
+// SeriesQuantiles summarises one histogram series for /status payloads.
+type SeriesQuantiles struct {
+	Labels    []Label         `json:"labels,omitempty"`
+	Count     int64           `json:"count"`
+	Mean      float64         `json:"mean"`
+	Quantiles QuantileSummary `json:"quantiles"`
+}
+
+// SnapshotQuantiles extracts a quantile summary for every histogram series
+// in the snapshot, keyed by family name. Estimates and means are divided by
+// the family's exposition scale, so TimeHistogram families report seconds.
+func SnapshotQuantiles(snap Snapshot) map[string][]SeriesQuantiles {
+	out := make(map[string][]SeriesQuantiles)
+	for _, f := range snap.Families {
+		if f.Kind != KindHistogram.String() {
+			continue
+		}
+		scale := f.Scale
+		if scale <= 0 {
+			scale = 1
+		}
+		for _, s := range f.Series {
+			sq := SeriesQuantiles{Labels: s.Labels, Count: s.Count}
+			if s.Count > 0 {
+				sq.Mean = float64(s.Sum) / float64(s.Count) / scale
+			}
+			qs := SummaryFromBuckets(s.Buckets)
+			sq.Quantiles = QuantileSummary{P50: qs.P50 / scale, P90: qs.P90 / scale, P99: qs.P99 / scale}
+			out[f.Name] = append(out[f.Name], sq)
+		}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile of the histogram's observations across
+// all shards. Nil-safe: returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var buckets [NumHistBuckets]int64
+	for i := range h.sh {
+		sh := &h.sh[i]
+		for b := 0; b < NumHistBuckets; b++ {
+			buckets[b] += sh.buckets[b].Load()
+		}
+	}
+	return QuantileFromBuckets(buckets[:], q)
+}
+
 // Observe records v into the shard's slot. Nil-safe no-op.
 func (h *Histogram) Observe(shard int, v int64) {
 	if h == nil {

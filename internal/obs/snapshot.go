@@ -1,6 +1,12 @@
 package obs
 
-import "sort"
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
 
 // SeriesSnapshot is one (label set, value) observation of a family at
 // snapshot time.
@@ -36,6 +42,95 @@ type FamilySnapshot struct {
 // Two snapshots of identical recorded state encode byte-identically.
 type Snapshot struct {
 	Families []FamilySnapshot `json:"families"`
+}
+
+// Encode renders the snapshot as canonical JSON. Snapshot ordering is
+// deterministic (families by name, series by label identity) and floats
+// encode via Go's shortest round-trip representation, so two snapshots of
+// identical state encode byte-identically.
+func (s Snapshot) Encode() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// DecodeSnapshot parses JSON produced by Encode. Decoding follows the fabric
+// wire-protocol style: unknown fields and trailing data are errors, and the
+// result must pass Validate. Label sets are re-sorted so the decoded
+// snapshot is canonical even when the input was hand-built.
+func DecodeSnapshot(data []byte) (Snapshot, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Snapshot
+	if err := dec.Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: decode snapshot: %w", err)
+	}
+	if dec.More() {
+		return Snapshot{}, fmt.Errorf("obs: decode snapshot: trailing data after JSON value")
+	}
+	for fi := range s.Families {
+		for si := range s.Families[fi].Series {
+			sortLabels(s.Families[fi].Series[si].Labels)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return Snapshot{}, err
+	}
+	return s, nil
+}
+
+// sortLabels orders a label set by key then value — the canonical order the
+// registry maintains for registered series.
+func sortLabels(ls []Label) {
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].Key != ls[j].Key {
+			return ls[i].Key < ls[j].Key
+		}
+		return ls[i].Value < ls[j].Value
+	})
+}
+
+// Validate checks the structural invariants every registry-produced snapshot
+// upholds: non-empty family names, known kinds, finite non-negative scales,
+// bucket slices capped at NumHistBuckets, and non-negative bucket, count and
+// per-shard tallies. It is the shared gate for snapshots arriving off the
+// wire (DecodeSnapshot, fabric telemetry payloads).
+func (s Snapshot) Validate() error {
+	for _, f := range s.Families {
+		if f.Name == "" {
+			return fmt.Errorf("obs: snapshot family with empty name")
+		}
+		switch f.Kind {
+		case KindCounter.String(), KindGauge.String(), KindHistogram.String():
+		default:
+			return fmt.Errorf("obs: snapshot family %s: unknown kind %q", f.Name, f.Kind)
+		}
+		if f.Scale < 0 || math.IsNaN(f.Scale) || math.IsInf(f.Scale, 0) {
+			return fmt.Errorf("obs: snapshot family %s: invalid scale %v", f.Name, f.Scale)
+		}
+		for _, ser := range f.Series {
+			for _, l := range ser.Labels {
+				if l.Key == "" {
+					return fmt.Errorf("obs: snapshot family %s: series with empty label key", f.Name)
+				}
+			}
+			if len(ser.Buckets) > NumHistBuckets {
+				return fmt.Errorf("obs: snapshot family %s: %d buckets exceeds %d", f.Name, len(ser.Buckets), NumHistBuckets)
+			}
+			if ser.Count < 0 {
+				return fmt.Errorf("obs: snapshot family %s: negative count %d", f.Name, ser.Count)
+			}
+			for _, n := range ser.Buckets {
+				if n < 0 {
+					return fmt.Errorf("obs: snapshot family %s: negative bucket count %d", f.Name, n)
+				}
+			}
+			for _, n := range ser.PerShard {
+				if n < 0 {
+					return fmt.Errorf("obs: snapshot family %s: negative per-shard count %d", f.Name, n)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // Snapshot aggregates the registry. It takes the registration lock only to

@@ -161,6 +161,35 @@ type SweepStatus struct {
 	Gen     int              `json:"gen,omitempty"`
 	Workers []WorkerProgress `json:"workers,omitempty"`
 	Slowest []SlowConfig     `json:"slowest,omitempty"`
+	// ConfigWallMs and SinkPutMs summarise the per-config wall-time and
+	// row-sink Put latency distributions, interpolated from the log2
+	// histogram buckets; absent until the first observation lands.
+	ConfigWallMs *LatencyQuantiles `json:"config_wall_ms,omitempty"`
+	SinkPutMs    *LatencyQuantiles `json:"sink_put_ms,omitempty"`
+}
+
+// LatencyQuantiles is the p50/p90/p99 triplet of a nanosecond histogram,
+// reported in milliseconds for /status readability.
+type LatencyQuantiles struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// latencyOf summarises a nanosecond histogram, or nil when it has no
+// observations yet (so the JSON field disappears rather than reading 0).
+func latencyOf(h *obs.Histogram) *LatencyQuantiles {
+	n := h.Count()
+	if n == 0 {
+		return nil
+	}
+	return &LatencyQuantiles{
+		Count: n,
+		P50Ms: h.Quantile(0.50) / 1e6,
+		P90Ms: h.Quantile(0.90) / 1e6,
+		P99Ms: h.Quantile(0.99) / 1e6,
+	}
 }
 
 // slowK bounds the slowest-config table.
@@ -479,16 +508,18 @@ func (t *Telemetry) Status() SweepStatus {
 		return SweepStatus{}
 	}
 	st := SweepStatus{
-		Done:       int(t.gDone.Value()),
-		Failed:     int(t.gFailed.Value()),
-		Total:      t.total,
-		ElapsedSec: t.gElapsed.Value(),
-		ETASec:     t.gETA.Value(),
-		RowsPerSec: t.gRPS.Value(),
-		Cycles:     int64(t.gCycles.Value()),
-		ShardIndex: t.shardIndex,
-		ShardCount: t.shardCount,
-		Gen:        int(t.gGen.Value()),
+		Done:         int(t.gDone.Value()),
+		Failed:       int(t.gFailed.Value()),
+		Total:        t.total,
+		ElapsedSec:   t.gElapsed.Value(),
+		ETASec:       t.gETA.Value(),
+		RowsPerSec:   t.gRPS.Value(),
+		Cycles:       int64(t.gCycles.Value()),
+		ShardIndex:   t.shardIndex,
+		ShardCount:   t.shardCount,
+		Gen:          int(t.gGen.Value()),
+		ConfigWallMs: latencyOf(t.configWall),
+		SinkPutMs:    latencyOf(t.sinkWall),
 	}
 	for w := range t.scratch {
 		st.Workers = append(st.Workers, WorkerProgress{Worker: w, Done: t.scratch[w].done.Load()})

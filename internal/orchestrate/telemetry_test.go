@@ -86,6 +86,18 @@ func TestTelemetryCollect(t *testing.T) {
 	if len(st.Slowest) == 0 || st.Slowest[0].WallMs < st.Slowest[len(st.Slowest)-1].WallMs {
 		t.Errorf("slowest table not sorted descending: %+v", st.Slowest)
 	}
+	// Latency quantiles: every config observed once, estimates ordered and
+	// in plausible wall-clock range.
+	cw := st.ConfigWallMs
+	if cw == nil || cw.Count != 6 {
+		t.Fatalf("config wall quantiles = %+v, want count 6", cw)
+	}
+	if cw.P50Ms <= 0 || cw.P50Ms > cw.P90Ms || cw.P90Ms > cw.P99Ms {
+		t.Errorf("config wall quantiles not ordered: %+v", cw)
+	}
+	if sp := st.SinkPutMs; sp == nil || sp.Count != 6 || sp.P50Ms > sp.P99Ms {
+		t.Errorf("sink put quantiles = %+v", sp)
+	}
 
 	// Journal: one meta, one summary, 6 configs, >= 1 heartbeat; every line
 	// parses and carries its type's required fields.

@@ -23,6 +23,7 @@ trap '[[ -n "$COORD_PID" ]] && kill "$COORD_PID" 2>/dev/null; rm -rf "$TMP"' EXI
 echo "== build"
 go build -o "$TMP/dsegen" ./cmd/dsegen
 go build -o "$TMP/dsecoord" ./cmd/dsecoord
+go build -o "$TMP/dsereport" ./cmd/dsereport
 
 echo "== single-process reference ($SAMPLES configs)"
 "$TMP/dsegen" -samples "$SAMPLES" -seed "$SEED" -out "$TMP/ref.csv" -runlog none -q
@@ -61,12 +62,32 @@ if ! grep -q "^armdse_fabric_rows_total $SAMPLES\$" <<<"$METRICS"; then
 fi
 echo "-- /metrics sample:"
 grep -E '^armdse_fabric_(rows_total|lease_grants_total|done)' <<<"$METRICS"
+
+echo "== fleet-aggregated telemetry"
+if ! grep -q '^armdse_fleet_workers 2$' <<<"$METRICS"; then
+	echo "FAIL: /metrics does not report 2 fleet workers" >&2
+	grep '^armdse_fleet' <<<"$METRICS" >&2 || true
+	exit 1
+fi
+for series in \
+	'armdse_fleet_worker_busy_seconds{worker="smoke-a"}' \
+	'armdse_fleet_worker_busy_seconds{worker="smoke-b"}' \
+	'armdse_fleet_runs_total{'; do
+	grep -qF "$series" <<<"$METRICS" ||
+		{ echo "FAIL: /metrics missing fleet series $series" >&2; exit 1; }
+done
+echo "-- fleet series:"
+grep -E '^armdse_fleet_(workers|worker_busy_fraction)' <<<"$METRICS"
 curl -sf "http://$ADDR/status" | python3 -c '
 import json, sys
 st = json.load(sys.stdin)
 assert st["done"] == st["total"], (st["done"], st["total"])
 assert len(st["workers"]) == 2, st["workers"]
-print("-- /status: done {done}/{total}, workers {w}".format(done=st["done"], total=st["total"], w=[x["name"] for x in st["workers"]]))
+assert st["straggler_lag_s"] > 0, st
+for w in st["workers"]:
+    assert w["busy_s"] > 0 and 0 < w["busy_frac"] <= 1, w
+    assert not w["straggler"], w
+print("-- /status: done {done}/{total}, workers {w}".format(done=st["done"], total=st["total"], w=["{name} busy {busy_frac:.0%}".format(**x) for x in st["workers"]]))
 '
 
 wait "$COORD_PID" || { cat "$TMP/dsecoord.err" >&2; echo "FAIL: dsecoord failed" >&2; exit 1; }
@@ -79,8 +100,36 @@ echo "-- cmp OK ($(wc -c <"$TMP/fleet.csv") bytes)"
 [[ -e "$TMP/fleet.csv.fabric" ]] && { echo "FAIL: journal directory not cleaned up" >&2; exit 1; }
 
 echo "== validate coordinator runlog"
-python3 scripts/validate_runlog.py "$TMP/fleet.csv.runlog.jsonl"
+python3 scripts/validate_runlog.py --require lease,util,heartbeat "$TMP/fleet.csv.runlog.jsonl"
 grep -q '"type":"lease","event":"grant"' "$TMP/fleet.csv.runlog.jsonl" ||
 	{ echo "FAIL: runlog records no lease grants" >&2; exit 1; }
+
+echo "== dsereport on the smoke runlog"
+"$TMP/dsereport" "$TMP/fleet.csv.runlog.jsonl"
+"$TMP/dsereport" -format json -out "$TMP/report.json" "$TMP/fleet.csv.runlog.jsonl"
+python3 - "$TMP/report.json" "$SAMPLES" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+run = doc["runs"][0]
+assert run["fleet"] and run["workers"] == 2, run
+assert run["rows"] + run["failed"] == int(sys.argv[2]), run
+assert run["leases"]["grants"] > 0, run["leases"]
+names = [w["name"] for w in run["worker_util"]]
+assert names == ["smoke-a", "smoke-b"], names
+for w in run["worker_util"]:
+    assert w["busy_s"] > 0 and 0 < w["busy_frac"] <= 1, w
+print("-- dsereport: {rows} rows, {w} workers, {g} lease grants".format(
+    rows=run["rows"], w=run["workers"], g=run["leases"]["grants"]))
+EOF
+"$TMP/dsereport" -format trace -out "$TMP/fleet.trace.json" "$TMP/fleet.csv.runlog.jsonl"
+python3 -c '
+import json, sys
+tr = json.load(open(sys.argv[1]))
+evs = tr["traceEvents"]
+assert any(e["ph"] == "X" for e in evs), "no lease slices"
+threads = [e for e in evs if e["ph"] == "M" and e["name"] == "thread_name"]
+assert len(threads) == 2, threads
+print("-- trace: {n} events, {t} worker tracks".format(n=len(evs), t=len(threads)))
+' "$TMP/fleet.trace.json"
 
 echo "fabric smoke: PASS"

@@ -1,17 +1,20 @@
 #!/usr/bin/env python3
-"""Validate a dsegen JSONL run journal against scripts/runlog.schema.json.
+"""Validate a dsegen/dsecoord JSONL run journal against scripts/runlog.schema.json.
 
-Usage: validate_runlog.py <runlog.jsonl> [schema.json]
+Usage: validate_runlog.py [--require TYPE[,TYPE...]] <runlog.jsonl> [schema.json]
 
 Checks, per line: the record parses as JSON, its type is known, every
 required field is present with the schema's JSON type, config.apps items
 match the nested schema, and each app's stalls array has one entry per
 stall class declared in the meta record. Whole-file checks: exactly one
 meta (first line) and one summary (last line), and the summary's
-journal_lines count matches the file.
+journal_lines count matches the file. --require additionally fails the
+run unless every listed record type appears at least once (smoke tests
+use it to pin that fleet journals carry lease and util records).
 """
 
 import json
+import os
 import sys
 
 JSON_TYPES = {
@@ -36,12 +39,25 @@ def check_fields(rec, spec, where, errors):
 
 
 def main():
-    if len(sys.argv) not in (2, 3):
+    argv = sys.argv[1:]
+    required_types = []
+    if argv and argv[0] == "--require":
+        if len(argv) < 2:
+            sys.exit(__doc__.strip())
+        required_types = [t for t in argv[1].split(",") if t]
+        argv = argv[2:]
+    if len(argv) not in (1, 2):
         sys.exit(__doc__.strip())
-    log_path = sys.argv[1]
-    schema_path = sys.argv[2] if len(sys.argv) == 3 else "scripts/runlog.schema.json"
+    log_path = argv[0]
+    if len(argv) == 2:
+        schema_path = argv[1]
+    else:
+        schema_path = os.path.join(os.path.dirname(os.path.abspath(__file__)), "runlog.schema.json")
     with open(schema_path) as f:
         schema = json.load(f)["records"]
+    for t in required_types:
+        if t not in schema:
+            sys.exit(f"validate_runlog: --require {t!r} is not a schema record type")
 
     errors = []
     counts = {}
@@ -85,6 +101,10 @@ def main():
                         errors.append(f"{where}: {len(stalls)} stall entries, meta declares {n_classes}")
             elif typ == "summary":
                 summary_lines = rec.get("journal_lines")
+
+    for t in required_types:
+        if counts.get(t, 0) == 0:
+            errors.append(f"no {t!r} records (required via --require)")
 
     if counts.get("meta", 0) != 1:
         errors.append(f"{counts.get('meta', 0)} meta records, want exactly 1")
